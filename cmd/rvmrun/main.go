@@ -1,0 +1,138 @@
+// Command rvmrun assembles and executes a bytecode program on the
+// reproduction's virtual machine, optionally applying the paper's bytecode
+// rewriting and running on the revocation-enabled ("modified") VM.
+//
+// Usage:
+//
+//	rvmrun [-vm unmodified|revocation] [-rewrite] [-threaded] [-quantum N]
+//	       [-trace] [-disasm] [-stats] program.rvm
+//
+// The program file uses the assembler syntax of internal/bytecode (see the
+// Assemble documentation and examples/bytecode/inversion.rvm). Threads are
+// declared with `thread NAME priority N run METHOD`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/rewrite"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		vmMode    = flag.String("vm", "revocation", "virtual machine: unmodified or revocation")
+		doRewrite = flag.Bool("rewrite", true, "apply the paper's bytecode rewriting (rollback scopes)")
+		threaded  = flag.Bool("threaded", false, "use the threaded-code execution tier")
+		quantum   = flag.Int64("quantum", 1000, "scheduler quantum in ticks")
+		seed      = flag.Int64("seed", 0, "deterministic scheduler seed")
+		doTrace   = flag.Bool("trace", false, "stream runtime events to stderr")
+		timeline  = flag.Bool("timeline", false, "print an ASCII schedule timeline at the end")
+		disasm    = flag.Bool("disasm", false, "print the (rewritten) program and exit")
+		stats     = flag.Bool("stats", true, "print runtime statistics at the end")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rvmrun [flags] program.rvm")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := bytecode.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := bytecode.Verify(prog); err != nil {
+		fatal(err)
+	}
+
+	var mode core.Mode
+	switch *vmMode {
+	case "unmodified":
+		mode = core.Unmodified
+	case "revocation":
+		mode = core.Revocation
+	default:
+		fatal(fmt.Errorf("unknown -vm %q", *vmMode))
+	}
+
+	if *doRewrite {
+		prog, err = rewrite.Rewrite(prog)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *disasm {
+		for _, m := range prog.Methods {
+			fmt.Println(bytecode.Disassemble(m))
+		}
+		return
+	}
+
+	var rec trace.Recorder
+	var sink trace.Sink = trace.Discard
+	switch {
+	case *doTrace && *timeline:
+		sink = trace.Multi{trace.Writer{W: os.Stderr}, &rec}
+	case *doTrace:
+		sink = trace.Writer{W: os.Stderr}
+	case *timeline:
+		sink = &rec
+	}
+	rt := core.New(core.Config{
+		Mode:              mode,
+		TrackDependencies: true,
+		DeadlockDetection: mode == core.Revocation,
+		Tracer:            sink,
+		Sched:             sched.Config{Quantum: simtime.Ticks(*quantum), Seed: *seed},
+	})
+	env, err := interp.Run(rt, prog, interp.Options{
+		Rewritten: *doRewrite,
+		Threaded:  *threaded,
+		Out:       os.Stdout,
+	})
+	if err != nil {
+		if env != nil && *stats {
+			printStats(rt)
+		}
+		fatal(err)
+	}
+
+	if *timeline {
+		fmt.Fprintln(os.Stderr, "\ntimeline ('#' dispatched, 'R' rollback):")
+		fmt.Fprint(os.Stderr, trace.Timeline(rec.Events(), 72))
+	}
+	if *stats {
+		printStats(rt)
+	}
+}
+
+func printStats(rt *core.Runtime) {
+	st := rt.Stats()
+	fmt.Fprintf(os.Stderr, "\nvm=%v end=%d ticks\n", rt.Mode(), rt.Now())
+	fmt.Fprintf(os.Stderr, "inversions=%d revocations=%d denied=%d rollbacks=%d re-executions=%d\n",
+		st.Inversions, st.RevocationRequests, st.RevocationsDenied, st.Rollbacks, st.Reexecutions)
+	fmt.Fprintf(os.Stderr, "logged=%d undone=%d wasted-ticks=%d deadlocks-broken=%d switches=%d\n",
+		st.EntriesLogged, st.EntriesUndone, st.WastedTicks, st.DeadlocksBroken, st.ContextSwitches)
+	for _, th := range rt.Scheduler().Threads() {
+		fmt.Fprintf(os.Stderr, "thread %-12s prio=%d start=%d end=%d cpu=%d\n",
+			th.Name(), th.BasePriority(), th.StartedAt(), th.EndedAt(), th.CPU())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvmrun:", err)
+	os.Exit(1)
+}

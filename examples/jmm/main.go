@@ -1,0 +1,141 @@
+// JMM: why some sections must become non-revocable (§2.2, Figures 2-3).
+//
+// Rollback must never make a value another thread legitimately observed
+// vanish "out of thin air". This program reproduces the paper's two
+// problematic executions and shows the runtime marking the involved
+// monitors non-revocable, so a later revocation attempt is denied and the
+// high-priority thread simply waits:
+//
+//  1. Figure 2 — nesting: T writes v under outer+inner and releases inner;
+//     T' reads v under inner. Revoking outer would undo a write T' saw.
+//
+//  2. Figure 3 — volatile: T writes a volatile inside a monitor; T' reads
+//     it with no monitor at all (volatile accesses synchronize on their
+//     own in the JMM).
+//
+//     go run ./examples/jmm
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/revoke"
+)
+
+func figure2() {
+	fmt.Println("Figure 2 — read-write dependency through a nested monitor:")
+	var rec revoke.TraceRecorder
+	rt := revoke.NewRuntime(revoke.Config{
+		Mode: revoke.Revocation, TrackDependencies: true,
+		Tracer: &rec, Sched: revoke.SchedConfig{Quantum: 100},
+	})
+	h := rt.Heap()
+	v := h.AllocObject("V", revoke.FieldSpec{Name: "v"})
+	outer := rt.NewMonitor("outer")
+	inner := rt.NewMonitor("inner")
+
+	rt.Spawn("T", revoke.LowPriority, func(t *revoke.Task) {
+		t.Synchronized(outer, func() {
+			t.Synchronized(inner, func() { t.WriteField(v, 0, 42) })
+			t.Work(2000) // outer still open; v=42 is speculative
+		})
+	})
+	rt.Spawn("T'", revoke.NormPriority, func(t *revoke.Task) {
+		t.Work(60)
+		t.Synchronized(inner, func() {
+			fmt.Printf("  T' reads v=%d under inner — dependency created\n", t.ReadField(v, 0))
+		})
+	})
+	rt.Spawn("Th", revoke.HighPriority, func(t *revoke.Task) {
+		t.Work(200)
+		t.Synchronized(outer, func() {}) // revocation will be denied
+	})
+	if err := rt.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report(rt, &rec)
+}
+
+func figure3() {
+	fmt.Println("\nFigure 3 — volatile write observed without any monitor:")
+	var rec revoke.TraceRecorder
+	rt := revoke.NewRuntime(revoke.Config{
+		Mode: revoke.Revocation, TrackDependencies: true,
+		Tracer: &rec, Sched: revoke.SchedConfig{Quantum: 100},
+	})
+	h := rt.Heap()
+	vol := h.DefineStatic("vol", true, 0)
+	m := rt.NewMonitor("M")
+
+	rt.Spawn("T", revoke.LowPriority, func(t *revoke.Task) {
+		t.Synchronized(m, func() {
+			t.WriteStatic(vol, 1)
+			t.Work(2000)
+		})
+	})
+	rt.Spawn("T'", revoke.NormPriority, func(t *revoke.Task) {
+		t.Work(60)
+		fmt.Printf("  T' reads volatile=%d with no lock — dependency created\n", t.ReadStatic(vol))
+	})
+	rt.Spawn("Th", revoke.HighPriority, func(t *revoke.Task) {
+		t.Work(200)
+		t.Synchronized(m, func() {})
+	})
+	if err := rt.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report(rt, &rec)
+}
+
+func properlySynchronized() {
+	fmt.Println("\nControl — same data, every access under the same monitor:")
+	rt := revoke.NewRuntime(revoke.Config{
+		Mode: revoke.Revocation, TrackDependencies: true,
+		Sched: revoke.SchedConfig{Quantum: 100},
+	})
+	h := rt.Heap()
+	v := h.AllocObject("V", revoke.FieldSpec{Name: "v"})
+	m := rt.NewMonitor("M")
+	rt.Spawn("T", revoke.LowPriority, func(t *revoke.Task) {
+		t.Synchronized(m, func() {
+			t.WriteField(v, 0, 7)
+			t.Work(2000)
+		})
+	})
+	rt.Spawn("T'", revoke.NormPriority, func(t *revoke.Task) {
+		t.Work(60)
+		t.Synchronized(m, func() { t.ReadField(v, 0) })
+	})
+	rt.Spawn("Th", revoke.HighPriority, func(t *revoke.Task) {
+		t.Work(200)
+		t.Synchronized(m, func() {})
+	})
+	if err := rt.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := rt.Stats()
+	fmt.Printf("  dependencies=%d non-revocable-marks=%d rollbacks=%d — mutual exclusion\n",
+		st.Dependencies, st.NonRevocableMarks, st.Rollbacks)
+	fmt.Println("  prevents problematic dependencies, so revocability is preserved (§2.2).")
+}
+
+func report(rt *revoke.Runtime, rec *revoke.TraceRecorder) {
+	st := rt.Stats()
+	fmt.Printf("  dependencies=%d non-revocable-marks=%d revocations-denied=%d rollbacks=%d\n",
+		st.Dependencies, st.NonRevocableMarks, st.RevocationsDenied, st.Rollbacks)
+	for _, e := range rec.Events() {
+		if e.Kind.String() == "non-revocable" || e.Kind.String() == "revoke-denied" {
+			fmt.Printf("    %v\n", e)
+		}
+	}
+}
+
+func main() {
+	figure2()
+	figure3()
+	properlySynchronized()
+}

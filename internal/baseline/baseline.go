@@ -1,0 +1,76 @@
+// Package baseline assembles the comparison systems the paper measures
+// against or discusses (§1, §5):
+//
+//   - Unmodified: the paper's reference VM — plain blocking monitors with
+//     prioritized entry queues and no remedy for priority inversion.
+//   - Inheritance: the classic priority-inheritance protocol [Sha et al.]:
+//     a blocking thread donates its priority to the monitor owner,
+//     transitively across the waits-for chain.
+//   - Ceiling: priority-ceiling emulation: acquiring a monitor immediately
+//     raises the owner to the monitor's programmer-declared ceiling.
+//   - Revocation: the paper's contribution, re-exported for symmetric use
+//     by the benchmark harness.
+//
+// All four run on the identical scheduler, heap and monitor substrate, so
+// measured differences isolate the protocol itself.
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Protocol names a lock-management discipline.
+type Protocol int
+
+const (
+	// Unmodified is plain blocking (the paper's baseline).
+	Unmodified Protocol = iota
+	// Inheritance is the priority-inheritance protocol.
+	Inheritance
+	// Ceiling is priority-ceiling emulation. Monitor ceilings must be set
+	// by the program (Monitor.Ceiling), as the protocol requires the
+	// programmer to declare them — the paper's §1 transparency critique.
+	Ceiling
+	// Revocation is the paper's preemption/rollback scheme.
+	Revocation
+)
+
+var protocolNames = [...]string{"unmodified", "inheritance", "ceiling", "revocation"}
+
+func (p Protocol) String() string {
+	if int(p) < len(protocolNames) {
+		return protocolNames[p]
+	}
+	return "protocol(?)"
+}
+
+// Protocols lists every discipline, for sweeps.
+var Protocols = []Protocol{Unmodified, Inheritance, Ceiling, Revocation}
+
+// New builds a runtime configured for the given protocol. The scheduler
+// configuration (quantum, policy, seed) is shared so protocols are
+// comparable. Inheritance and Ceiling use the strict-priority dispatcher —
+// they are meaningless under pure round-robin — while Unmodified and
+// Revocation default to the paper's round-robin + prioritized monitor
+// queues setup unless the caller overrides the policy.
+func New(p Protocol, schedCfg sched.Config) *core.Runtime {
+	cfg := core.Config{Sched: schedCfg}
+	switch p {
+	case Unmodified:
+		cfg.Mode = core.Unmodified
+	case Inheritance:
+		cfg.Mode = core.Unmodified
+		cfg.PriorityInheritance = true
+		cfg.Sched.Policy = sched.PriorityRR
+	case Ceiling:
+		cfg.Mode = core.Unmodified
+		cfg.PriorityCeiling = true
+		cfg.Sched.Policy = sched.PriorityRR
+	case Revocation:
+		cfg.Mode = core.Revocation
+		cfg.TrackDependencies = true
+		cfg.DeadlockDetection = true
+	}
+	return core.New(cfg)
+}

@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+func TestProtocolStrings(t *testing.T) {
+	want := map[Protocol]string{
+		Unmodified:  "unmodified",
+		Inheritance: "inheritance",
+		Ceiling:     "ceiling",
+		Revocation:  "revocation",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p, s)
+		}
+	}
+	if Protocol(42).String() != "protocol(?)" {
+		t.Error("unknown protocol string")
+	}
+}
+
+func TestNewConfiguresProtocols(t *testing.T) {
+	cases := []struct {
+		p      Protocol
+		mode   core.Mode
+		inh    bool
+		ceil   bool
+		policy sched.Policy
+	}{
+		{Unmodified, core.Unmodified, false, false, sched.RoundRobin},
+		{Inheritance, core.Unmodified, true, false, sched.PriorityRR},
+		{Ceiling, core.Unmodified, false, true, sched.PriorityRR},
+		{Revocation, core.Revocation, false, false, sched.RoundRobin},
+	}
+	for _, c := range cases {
+		rt := New(c.p, sched.Config{})
+		cfg := rt.Config()
+		if cfg.Mode != c.mode || cfg.PriorityInheritance != c.inh || cfg.PriorityCeiling != c.ceil {
+			t.Errorf("%v: config %+v", c.p, cfg)
+		}
+		if rt.Scheduler().Policy() != c.policy {
+			t.Errorf("%v: policy %v, want %v", c.p, rt.Scheduler().Policy(), c.policy)
+		}
+	}
+}
+
+// inversionScenario builds the motivating scenario: a low-priority thread
+// takes the lock, medium-priority CPU hogs keep the processor busy, and a
+// high-priority thread needs the lock. It returns the high thread's
+// completion time.
+func inversionScenario(t *testing.T, proto Protocol) simtime.Ticks {
+	t.Helper()
+	rt := New(proto, sched.Config{Quantum: 50, Seed: 11})
+	m := rt.NewMonitor("resource")
+	m.Ceiling = sched.HighPriority
+
+	var highDone simtime.Ticks
+	rt.Spawn("low", sched.LowPriority, func(tk *core.Task) {
+		tk.Synchronized(m, func() {
+			tk.Work(3000)
+		})
+	})
+	for i := 0; i < 3; i++ {
+		rt.Spawn(fmt.Sprintf("med%d", i), sched.NormPriority, func(tk *core.Task) {
+			tk.Sleep(20)
+			tk.Work(4000)
+		})
+	}
+	rt.Spawn("high", sched.HighPriority, func(tk *core.Task) {
+		tk.Sleep(60)
+		tk.Synchronized(m, func() { tk.Work(50) })
+		highDone = rt.Now()
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatalf("%v: %v", proto, err)
+	}
+	return highDone
+}
+
+// TestProtocolsBoundInversion is the cross-protocol comparison the paper's
+// related-work section argues about: inheritance, ceiling and revocation
+// all bound the high-priority thread's wait; plain blocking under a
+// priority scheduler does not (medium threads starve the lock holder).
+func TestProtocolsBoundInversion(t *testing.T) {
+	// Plain blocking, but under the strict-priority dispatcher, to expose
+	// classic unbounded inversion (round-robin would eventually run the
+	// low thread anyway).
+	rtPlain := core.New(core.Config{Mode: core.Unmodified, Sched: sched.Config{Quantum: 50, Seed: 11, Policy: sched.PriorityRR}})
+	m := rtPlain.NewMonitor("resource")
+	var plainDone simtime.Ticks
+	rtPlain.Spawn("low", sched.LowPriority, func(tk *core.Task) {
+		tk.Synchronized(m, func() { tk.Work(3000) })
+	})
+	for i := 0; i < 3; i++ {
+		rtPlain.Spawn(fmt.Sprintf("med%d", i), sched.NormPriority, func(tk *core.Task) {
+			tk.Sleep(20)
+			tk.Work(4000)
+		})
+	}
+	rtPlain.Spawn("high", sched.HighPriority, func(tk *core.Task) {
+		tk.Sleep(60)
+		tk.Synchronized(m, func() { tk.Work(50) })
+		plainDone = rtPlain.Now()
+	})
+	if err := rtPlain.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, proto := range []Protocol{Inheritance, Ceiling, Revocation} {
+		done := inversionScenario(t, proto)
+		if done >= plainDone {
+			t.Errorf("%v: high finished at %d, not better than plain blocking (%d)", proto, done, plainDone)
+		}
+	}
+}
+
+// TestRevocationBeatsInheritanceForHighPriority: inheritance still makes
+// the high thread wait out the whole section; revocation preempts it.
+func TestRevocationBeatsInheritanceForHighPriority(t *testing.T) {
+	inh := inversionScenario(t, Inheritance)
+	rev := inversionScenario(t, Revocation)
+	if rev >= inh {
+		t.Fatalf("revocation (%d) not faster than inheritance (%d)", rev, inh)
+	}
+}
+
+// TestCeilingRequiresDeclaredCeiling: without a declared ceiling the
+// protocol silently degrades to plain blocking — the transparency critique
+// of §1.
+func TestCeilingRequiresDeclaredCeiling(t *testing.T) {
+	rt := New(Ceiling, sched.Config{Quantum: 50})
+	m := rt.NewMonitor("undeclared") // Ceiling left zero
+	var inside sched.Priority
+	rt.Spawn("low", sched.LowPriority, func(tk *core.Task) {
+		tk.Synchronized(m, func() { inside = tk.Priority() })
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inside != sched.LowPriority {
+		t.Fatalf("priority raised to %d without a declared ceiling", inside)
+	}
+}
+
+// TestAllProtocolsPreserveMutualExclusion runs a counter workload under
+// every protocol and checks the total.
+func TestAllProtocolsPreserveMutualExclusion(t *testing.T) {
+	for _, proto := range Protocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			rt := New(proto, sched.Config{Quantum: 17, Seed: 5})
+			o := rt.Heap().AllocPlain("counter", 1)
+			m := rt.NewMonitor("m")
+			m.Ceiling = sched.HighPriority
+			prios := []sched.Priority{sched.LowPriority, sched.NormPriority, sched.HighPriority}
+			for i := 0; i < 6; i++ {
+				prio := prios[i%3]
+				rt.Spawn(fmt.Sprintf("t%d", i), prio, func(tk *core.Task) {
+					for k := 0; k < 10; k++ {
+						tk.Synchronized(m, func() {
+							v := tk.ReadField(o, 0)
+							tk.Work(7)
+							tk.WriteField(o, 0, v+1)
+						})
+					}
+				})
+			}
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := o.Get(0); got != 60 {
+				t.Fatalf("counter = %d, want 60", got)
+			}
+		})
+	}
+}

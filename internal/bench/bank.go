@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+// The bank workload is the "real-world application" stand-in the paper's
+// conclusions call for (§6): many monitors instead of one, nested
+// acquisition in inconsistent order (deadlock-prone transfers), long
+// low-priority sections (the interest batch), and latency-sensitive
+// high-priority work (auditors). It exercises, in one program, everything
+// the micro-benchmark isolates: inversion resolution, deadlock breaking,
+// logging, rollback and re-execution.
+//
+// Invariants checked:
+//   - per-account: checksum == 7*balance at every observation point —
+//     sections must be atomic even under revocation;
+//   - global: total money is conserved once the system quiesces.
+
+// BankParams sizes the workload.
+type BankParams struct {
+	Accounts int
+	// Tellers are normal-priority threads doing two-account transfers,
+	// locking the accounts in *random* order — the deadlock factory.
+	Tellers int
+	// Auditors are high-priority threads periodically scanning accounts;
+	// their per-round latency is the figure of merit.
+	Auditors int
+	// BatchThreads are low-priority threads posting interest to every
+	// account in long synchronized sections — the inversion source.
+	BatchThreads int
+	Rounds       int
+	InitialEach  heap.Word
+	// OrderedTransfers makes tellers lock account pairs in ascending
+	// order (the classic deadlock-avoidance discipline). Disable it only
+	// under the revocation protocol, which detects and breaks the
+	// resulting deadlocks; the other protocols would wedge.
+	OrderedTransfers bool
+	// SectionWork is the computation per batch section (ticks).
+	SectionWork simtime.Ticks
+	Quantum     simtime.Ticks
+	Seed        int64
+}
+
+// DefaultBankParams returns a small, contended configuration.
+func DefaultBankParams() BankParams {
+	return BankParams{
+		Accounts:         8,
+		Tellers:          4,
+		Auditors:         2,
+		BatchThreads:     2,
+		Rounds:           6,
+		InitialEach:      1000,
+		OrderedTransfers: true,
+		SectionWork:      800,
+		Quantum:          200,
+		Seed:             7,
+	}
+}
+
+// BankResult reports one run.
+type BankResult struct {
+	Protocol baseline.Protocol
+	// AuditWorst and AuditMean are the auditor round latencies in ticks.
+	AuditWorst simtime.Ticks
+	AuditMean  float64
+	// Conserved reports whether total money was conserved at the end.
+	Conserved bool
+	// ConsistentObservations reports whether every balance/checksum pair
+	// observed by any thread was consistent.
+	ConsistentObservations bool
+	Elapsed                simtime.Ticks
+	Stats                  core.Stats
+}
+
+// RunBank executes the workload under the given protocol.
+func RunBank(proto baseline.Protocol, p BankParams) (BankResult, error) {
+	rt := baseline.New(proto, sched.Config{Quantum: p.Quantum, Seed: p.Seed})
+	h := rt.Heap()
+
+	accounts := make([]*heap.Object, p.Accounts)
+	monitors := make([]*monitor.Monitor, p.Accounts)
+	for i := range accounts {
+		accounts[i] = h.AllocObject(fmt.Sprintf("Account%d", i),
+			heap.FieldSpec{Name: "balance", Init: p.InitialEach},
+			heap.FieldSpec{Name: "checksum", Init: 7 * p.InitialEach},
+		)
+		monitors[i] = rt.MonitorFor(accounts[i])
+		monitors[i].Ceiling = sched.HighPriority // for the ceiling baseline
+	}
+
+	consistent := true
+	check := func(tk *core.Task, i int) heap.Word {
+		b := tk.ReadField(accounts[i], 0)
+		c := tk.ReadField(accounts[i], 1)
+		if c != 7*b {
+			consistent = false
+		}
+		return b
+	}
+	set := func(tk *core.Task, i int, v heap.Word) {
+		tk.WriteField(accounts[i], 0, v)
+		tk.WriteField(accounts[i], 1, 7*v)
+	}
+
+	// Tellers: random-order two-account transfers.
+	for ti := 0; ti < p.Tellers; ti++ {
+		rng := rand.New(rand.NewSource(p.Seed + int64(ti)*7919))
+		rt.Spawn(fmt.Sprintf("teller%d", ti), sched.NormPriority, func(tk *core.Task) {
+			for r := 0; r < p.Rounds; r++ {
+				from := rng.Intn(p.Accounts)
+				to := rng.Intn(p.Accounts - 1)
+				if to >= from {
+					to++
+				}
+				amount := heap.Word(rng.Intn(50) + 1)
+				outer, inner := from, to
+				if p.OrderedTransfers && outer > inner {
+					outer, inner = inner, outer
+				}
+				tk.Sleep(simtime.Ticks(rng.Intn(int(p.Quantum)) + 1))
+				tk.Synchronized(monitors[outer], func() {
+					tk.Work(20)
+					tk.Synchronized(monitors[inner], func() {
+						fb := check(tk, from)
+						tb := check(tk, to)
+						set(tk, from, fb-amount)
+						tk.Work(10)
+						set(tk, to, tb+amount)
+					})
+				})
+			}
+		})
+	}
+
+	// Batch threads: post interest to every account, long sections.
+	for bi := 0; bi < p.BatchThreads; bi++ {
+		rng := rand.New(rand.NewSource(p.Seed + 1000 + int64(bi)*104729))
+		rt.Spawn(fmt.Sprintf("batch%d", bi), sched.LowPriority, func(tk *core.Task) {
+			for r := 0; r < p.Rounds; r++ {
+				for i := 0; i < p.Accounts; i++ {
+					tk.Synchronized(monitors[i], func() {
+						b := check(tk, i)
+						tk.Work(p.SectionWork)
+						// +1/-1 alternating keeps the total conserved.
+						delta := heap.Word(1 - 2*(r%2))
+						set(tk, i, b+delta)
+					})
+					tk.Sleep(simtime.Ticks(rng.Intn(40) + 1))
+				}
+			}
+		})
+	}
+
+	// Auditors: high-priority scans; measure per-round latency.
+	var latencies []simtime.Ticks
+	for ai := 0; ai < p.Auditors; ai++ {
+		rng := rand.New(rand.NewSource(p.Seed + 2000 + int64(ai)*31337))
+		rt.Spawn(fmt.Sprintf("auditor%d", ai), sched.HighPriority, func(tk *core.Task) {
+			for r := 0; r < p.Rounds; r++ {
+				tk.Sleep(simtime.Ticks(rng.Intn(int(p.Quantum)*2) + 1))
+				start := rt.Now()
+				for i := 0; i < p.Accounts; i++ {
+					tk.Synchronized(monitors[i], func() {
+						check(tk, i)
+						tk.Work(5)
+					})
+				}
+				latencies = append(latencies, rt.Now()-start)
+			}
+		})
+	}
+
+	if err := rt.Run(); err != nil {
+		return BankResult{}, fmt.Errorf("bank/%v: %w", proto, err)
+	}
+
+	res := BankResult{
+		Protocol:               proto,
+		Conserved:              true,
+		ConsistentObservations: consistent,
+		Elapsed:                rt.Now(),
+		Stats:                  rt.Stats(),
+	}
+	total := heap.Word(0)
+	for _, a := range accounts {
+		if a.Get(1) != 7*a.Get(0) {
+			res.ConsistentObservations = false
+		}
+		total += a.Get(0)
+	}
+	// Batch rounds alternate +1/-1 per account; an odd round count leaves
+	// +1 per account per batch thread.
+	expected := heap.Word(p.Accounts)*p.InitialEach +
+		heap.Word(p.BatchThreads*p.Accounts*(p.Rounds%2))
+	res.Conserved = total == expected
+	var sum simtime.Ticks
+	for _, l := range latencies {
+		if l > res.AuditWorst {
+			res.AuditWorst = l
+		}
+		sum += l
+	}
+	if len(latencies) > 0 {
+		res.AuditMean = float64(sum) / float64(len(latencies))
+	}
+	return res, nil
+}

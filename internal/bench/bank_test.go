@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/simtime"
+)
+
+func TestBankAllProtocolsPreserveInvariants(t *testing.T) {
+	for _, proto := range baseline.Protocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			res, err := RunBank(proto, DefaultBankParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Conserved {
+				t.Error("total money not conserved")
+			}
+			if !res.ConsistentObservations {
+				t.Error("inconsistent balance/checksum pair observed")
+			}
+			if res.AuditWorst <= 0 {
+				t.Error("no audit latencies recorded")
+			}
+		})
+	}
+}
+
+func TestBankDeterministic(t *testing.T) {
+	a, err := RunBank(baseline.Revocation, DefaultBankParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBank(baseline.Revocation, DefaultBankParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.AuditWorst != b.AuditWorst || a.Stats != b.Stats {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestBankRevocationImprovesAuditLatency(t *testing.T) {
+	p := DefaultBankParams()
+	plain, err := RunBank(baseline.Unmodified, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := RunBank(baseline.Revocation, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Stats.Rollbacks == 0 {
+		t.Fatal("no rollbacks: the workload is not contended enough to test anything")
+	}
+	if rev.AuditWorst >= plain.AuditWorst {
+		t.Errorf("revocation worst audit latency %d not better than plain %d",
+			rev.AuditWorst, plain.AuditWorst)
+	}
+}
+
+func TestBankRandomOrderTransfersNeedRevocation(t *testing.T) {
+	p := DefaultBankParams()
+	p.OrderedTransfers = false
+	p.Rounds = 4
+	// The revocation protocol detects and breaks the deadlocks.
+	res, err := RunBank(baseline.Revocation, p)
+	if err != nil {
+		t.Fatalf("revocation wedged on random-order transfers: %v", err)
+	}
+	if !res.Conserved || !res.ConsistentObservations {
+		t.Fatalf("invariants violated: %+v", res)
+	}
+	// Plain blocking wedges on the same schedule.
+	if _, err := RunBank(baseline.Unmodified, p); err == nil {
+		t.Log("note: plain blocking survived this seed (no deadlock formed); the revocation assertion above is the essential one")
+	}
+}
+
+func TestBankScalesWithParams(t *testing.T) {
+	small := DefaultBankParams()
+	small.Rounds = 2
+	big := DefaultBankParams()
+	big.Rounds = 8
+	rs, err := RunBank(baseline.Revocation, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunBank(baseline.Revocation, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Elapsed <= rs.Elapsed {
+		t.Fatalf("more rounds did not take longer: %d vs %d", rb.Elapsed, rs.Elapsed)
+	}
+}
+
+func TestBankSectionWorkDrivesInversions(t *testing.T) {
+	p := DefaultBankParams()
+	p.SectionWork = 4 * simtime.Ticks(p.Quantum)
+	res, err := RunBank(baseline.Revocation, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Inversions == 0 {
+		t.Fatal("long batch sections produced no inversions")
+	}
+}

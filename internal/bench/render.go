@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// panelLabels mirror the paper's sub-figure labels.
+var panelLabels = []string{"(a)", "(b)", "(c)"}
+
+// Render writes a figure as aligned text tables, one per panel, in the
+// layout of the paper's plots: write ratio on the x-axis, the MODIFIED and
+// UNMODIFIED series normalized to UNMODIFIED at 100 % reads.
+func (f Figure) Render(w io.Writer) {
+	spec := Specs[f.Number]
+	fmt.Fprintf(w, "Figure %d: %s  [scale=%s]\n", f.Number, spec.Caption, f.Scale)
+	for i, panel := range f.Panels {
+		label := "(?)"
+		if i < len(panelLabels) {
+			label = panelLabels[i]
+		}
+		fmt.Fprintf(w, "\n  %s %s\n", label, panel.Mix)
+		fmt.Fprintf(w, "    %-8s %-10s %-12s %-14s %-14s\n", "writes%", "MODIFIED", "UNMODIFIED", "raw-mod", "raw-unmod")
+		for _, pt := range panel.Points {
+			fmt.Fprintf(w, "    %-8d %-10.3f %-12.3f %-14d %-14d\n",
+				pt.WritePct, pt.Modified, pt.Unmodified, pt.RawMod, pt.RawUnmod)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the figure in long form: figure,panel,mix,writes,vm,
+// normalized,raw,rollbacks,reexecutions.
+func (f Figure) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, "figure,panel,high,low,writes_pct,vm,normalized,raw_ticks,rollbacks,reexecutions")
+	for i, panel := range f.Panels {
+		for _, pt := range panel.Points {
+			fmt.Fprintf(w, "%d,%s,%d,%d,%d,MODIFIED,%.4f,%d,%d,%d\n",
+				f.Number, strings.Trim(panelLabels[i], "()"), panel.Mix.High, panel.Mix.Low,
+				pt.WritePct, pt.Modified, pt.RawMod, pt.ModStats.Rollbacks, pt.ModStats.Reexecutions)
+			fmt.Fprintf(w, "%d,%s,%d,%d,%d,UNMODIFIED,%.4f,%d,0,0\n",
+				f.Number, strings.Trim(panelLabels[i], "()"), panel.Mix.High, panel.Mix.Low,
+				pt.WritePct, pt.Unmodified, pt.RawUnmod)
+		}
+	}
+}
+
+// RenderSummary writes the headline-claims comparison.
+func (s Summary) Render(w io.Writer) {
+	fmt.Fprintln(w, "Headline claims (paper vs reproduced):")
+	fmt.Fprintf(w, "  high-priority gain, favorable mixes (2+8, 5+5): paper 25-100%%, avg; ours %.0f%%\n", s.GainPctFavorable)
+	fmt.Fprintf(w, "  high-priority gain, all mixes:                  paper avg 78%%;   ours %.0f%%\n", s.GainPct)
+	fmt.Fprintf(w, "  speedup on favorable mixes:                     paper ~2x;       ours %.2fx\n", s.SpeedupFavorable)
+	fmt.Fprintf(w, "  overall elapsed-time overhead of modified VM:   paper ~30%%;      ours %.0f%%\n", s.OverallOverheadPct)
+}

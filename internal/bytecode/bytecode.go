@@ -1,0 +1,357 @@
+// Package bytecode defines the instruction set and program model of the
+// reproduction's virtual machine: a small JVM-like stack machine with
+// objects, arrays, statics, monitors (monitorenter/monitorexit), exception
+// tables, wait/notify intrinsics and native calls — everything the paper's
+// bytecode rewriting needs to operate on (§3.1.1).
+//
+// Programs are built with the Builder API or assembled from the textual
+// form understood by Assemble. The rewriter (internal/rewrite) transforms
+// programs exactly as the paper describes: synchronized methods become
+// wrappers around synchronized blocks, every synchronized block is wrapped
+// in a rollback-exception scope with operand-stack save/restore, and store
+// instructions gain write barriers.
+package bytecode
+
+import "fmt"
+
+// Op is an opcode.
+type Op uint8
+
+// The instruction set. Stack effects are noted as (before -- after).
+const (
+	NOP Op = iota
+	// CONST pushes V. ( -- v)
+	CONST
+	// LOAD pushes local A. ( -- v)
+	LOAD
+	// STORE pops into local A. (v -- )
+	STORE
+	// DUP duplicates the top. (v -- v v)
+	DUP
+	// POP discards the top. (v -- )
+	POP
+	// SWAP exchanges the top two. (a b -- b a)
+	SWAP
+
+	// Arithmetic. (a b -- a·b) except NEG (a -- -a).
+	ADD
+	SUB
+	MUL
+	DIV // panics VM-exception "ArithmeticException" on divide by zero
+	MOD
+	NEG
+
+	// Comparisons push 1 or 0. (a b -- a?b)
+	CMPEQ
+	CMPNE
+	CMPLT
+	CMPLE
+	CMPGT
+	CMPGE
+
+	// GOTO jumps to A.
+	GOTO
+	// IFNZ pops v and jumps to A when v != 0. (v -- )
+	IFNZ
+	// IFZ pops v and jumps to A when v == 0. (v -- )
+	IFZ
+
+	// NEWOBJ allocates an instance of class S and pushes its ref. ( -- ref)
+	NEWOBJ
+	// NEWARR pops a length and pushes an array ref. (n -- ref)
+	NEWARR
+	// ARRAYLEN pops an array ref and pushes its length. (ref -- n)
+	ARRAYLEN
+
+	// GETFIELD pushes field A of the popped object. (ref -- v)
+	GETFIELD
+	// PUTFIELD stores into field A. (ref v -- )  [paper: putfield]
+	PUTFIELD
+	// GETSTATIC pushes static A. ( -- v)
+	GETSTATIC
+	// PUTSTATIC stores into static A. (v -- )  [paper: putstatic]
+	PUTSTATIC
+	// ALOAD pushes an array element. (ref idx -- v)
+	ALOAD
+	// ASTORE stores an array element. (ref idx v -- )  [paper: Xastore]
+	ASTORE
+
+	// MONITORENTER acquires the monitor of the popped object. (ref -- )
+	MONITORENTER
+	// MONITOREXIT releases it. (ref -- )
+	MONITOREXIT
+
+	// WAIT, NOTIFY, NOTIFYALL are the Object intrinsics. (ref -- )
+	WAIT
+	NOTIFY
+	NOTIFYALL
+
+	// INVOKE calls method S; arguments are popped (last on top), the
+	// return value (if any) is pushed. (a1..an -- [ret])
+	INVOKE
+	// RETURN returns void.
+	RETURN
+	// IRETURN returns the popped value. (v -- )
+	IRETURN
+
+	// THROW raises a user exception of class S. ( -- )
+	THROW
+
+	// NATIVE calls the registered native S with A arguments popped from
+	// the stack, pushing its result; it makes every enclosing monitor
+	// non-revocable (§2.2). (a1..an -- ret)
+	NATIVE
+
+	// WORK pops n and charges n ticks of thread-local computation. (n -- )
+	WORK
+	// SLEEP pops n and sleeps n virtual ticks. (n -- )
+	SLEEP
+
+	// The rewriter injects the following; hand-written programs normally
+	// do not use them.
+
+	// SAVESTACK copies the operand stack (deepest first, depth V) into
+	// locals starting at A, leaving the stack unchanged. Injected before a
+	// rollback-scope's monitorenter so re-execution can rebuild the stack
+	// ("we inject bytecode to save the values on the operand stack just
+	// before each rollback-scope's monitorenter opcode", §3.1.1).
+	SAVESTACK
+	// RESTORESTACK rebuilds the operand stack from locals A.. with depth V.
+	RESTORESTACK
+	// CHECKTARGET pushes 1 when the pending rollback targets synchronized
+	// region A of the current method activation, else 0. Injected at the
+	// head of every rollback handler ("each rollback exception catch
+	// handler invokes an internal VM method to check if it corresponds to
+	// the synchronized section that is to be re-executed", §3.1.1).
+	CHECKTARGET
+	// RETHROW re-raises the in-flight exception (rollback or user) to the
+	// next outer scope.
+	RETHROW
+
+	// Raw stores skip the write barrier entirely. The elision optimizer
+	// (§1.1: "compiler analyses and optimization may elide these run-time
+	// checks") emits them in methods proven never to execute inside a
+	// synchronized section; hand-writing them in synchronized code is
+	// unsound (updates would survive a rollback).
+
+	// PUTFIELDRAW stores into field A with no barrier. (ref v -- )
+	PUTFIELDRAW
+	// PUTSTATICRAW stores into static A with no barrier. (v -- )
+	PUTSTATICRAW
+	// ASTORERAW stores an array element with no barrier. (ref idx v -- )
+	ASTORERAW
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", CONST: "const", LOAD: "load", STORE: "store", DUP: "dup",
+	POP: "pop", SWAP: "swap", ADD: "add", SUB: "sub", MUL: "mul", DIV: "div",
+	MOD: "mod", NEG: "neg", CMPEQ: "cmpeq", CMPNE: "cmpne", CMPLT: "cmplt",
+	CMPLE: "cmple", CMPGT: "cmpgt", CMPGE: "cmpge", GOTO: "goto",
+	IFNZ: "ifnz", IFZ: "ifz", NEWOBJ: "newobj", NEWARR: "newarr",
+	ARRAYLEN: "arraylen", GETFIELD: "getfield", PUTFIELD: "putfield",
+	GETSTATIC: "getstatic", PUTSTATIC: "putstatic", ALOAD: "aload",
+	ASTORE: "astore", MONITORENTER: "monitorenter", MONITOREXIT: "monitorexit",
+	WAIT: "wait", NOTIFY: "notify", NOTIFYALL: "notifyall", INVOKE: "invoke",
+	RETURN: "return", IRETURN: "ireturn", THROW: "throw", NATIVE: "native",
+	WORK: "work", SLEEP: "sleep", SAVESTACK: "savestack",
+	RESTORESTACK: "restorestack", CHECKTARGET: "checktarget", RETHROW: "rethrow",
+	PUTFIELDRAW: "putfield.raw", PUTSTATICRAW: "putstatic.raw", ASTORERAW: "astore.raw",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// opByName is the reverse mapping, used by the assembler.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// Instr is one instruction. A holds a small integer operand (local index,
+// field offset, jump target, argument count), V a constant value, S a
+// symbol (class, method, native or exception name).
+type Instr struct {
+	Op Op
+	A  int
+	V  int64
+	S  string
+}
+
+// String renders the instruction in assembler form.
+func (i Instr) String() string {
+	switch i.Op {
+	case CONST:
+		return fmt.Sprintf("const %d", i.V)
+	case LOAD, STORE, GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC, PUTFIELDRAW, PUTSTATICRAW:
+		return fmt.Sprintf("%v %d", i.Op, i.A)
+	case GOTO, IFNZ, IFZ:
+		return fmt.Sprintf("%v @%d", i.Op, i.A)
+	case NEWOBJ, INVOKE, THROW:
+		return fmt.Sprintf("%v %s", i.Op, i.S)
+	case NATIVE:
+		return fmt.Sprintf("native %s/%d", i.S, i.A)
+	case SAVESTACK, RESTORESTACK:
+		return fmt.Sprintf("%v base=%d depth=%d", i.Op, i.A, i.V)
+	default:
+		return i.Op.String()
+	}
+}
+
+// RollbackClass is the exception-class name of the internal rollback
+// exception the runtime throws to restart a synchronized section. The
+// rewriter injects handlers catching it; user code cannot construct it.
+const RollbackClass = "<rollback>"
+
+// CatchAny marks a handler that catches every user exception (the
+// compilation of finally blocks and catch(Throwable)).
+const CatchAny = "*"
+
+// Handler is one exception-table entry: if an exception of class Catch is
+// thrown at pc in [From, To), control transfers to Target with the operand
+// stack cleared (holding only the exception, for user exceptions).
+type Handler struct {
+	From, To int
+	Target   int
+	Catch    string
+}
+
+// SyncRegion records the static extent of one structured synchronized
+// block (the assembler's `sync N { ... }` form): EnterPC is the pc of the
+// LOAD that pushes the monitor object (immediately followed by
+// MONITORENTER), ExitPC the pc of the matching MONITOREXIT, ObjLocal the
+// local holding the monitor object. The rewriter turns each region into a
+// rollback scope.
+type SyncRegion struct {
+	EnterPC  int
+	ExitPC   int
+	ObjLocal int
+}
+
+// Method is one method body.
+type Method struct {
+	Name string
+	// Args is the number of leading locals filled from the caller's
+	// stack. For instance methods local 0 is the receiver, by convention.
+	Args int
+	// Locals is the total local-variable count (≥ Args).
+	Locals int
+	// Synchronized marks Java's synchronized methods; the rewriter lowers
+	// the flag into an explicit monitorenter/monitorexit wrapper (§3.1.1).
+	Synchronized bool
+	// Returns reports whether the method pushes a value (IRETURN).
+	Returns  bool
+	Code     []Instr
+	Handlers []Handler
+	// Regions lists the structured synchronized blocks, innermost first.
+	Regions []SyncRegion
+	// MaxStack is filled in by the verifier.
+	MaxStack int
+}
+
+// Class declares a set of named fields.
+type Class struct {
+	Name   string
+	Fields []Field
+}
+
+// Field declares one object field.
+type Field struct {
+	Name     string
+	Volatile bool
+	Init     int64
+}
+
+// FieldIndex resolves a field name.
+func (c *Class) FieldIndex(name string) (int, bool) {
+	for i, f := range c.Fields {
+		if f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Static declares one global variable.
+type Static struct {
+	Name     string
+	Volatile bool
+	Init     int64
+}
+
+// ThreadDecl declares a thread the program spawns at startup.
+type ThreadDecl struct {
+	Name     string
+	Priority int // 1..10, Java-style
+	Method   string
+}
+
+// Program is a complete unit: classes, statics, methods and the threads to
+// run.
+type Program struct {
+	Classes []*Class
+	Statics []Static
+	Methods []*Method
+	Threads []ThreadDecl
+}
+
+// Class resolves a class by name.
+func (p *Program) Class(name string) (*Class, bool) {
+	for _, c := range p.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Method resolves a method by name.
+func (p *Program) Method(name string) (*Method, bool) {
+	for _, m := range p.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// StaticIndex resolves a static by name.
+func (p *Program) StaticIndex(name string) (int, bool) {
+	for i, s := range p.Statics {
+		if s.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Clone deep-copies the program so the rewriter can transform it without
+// mutating the input.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Classes: make([]*Class, len(p.Classes)),
+		Statics: append([]Static(nil), p.Statics...),
+		Methods: make([]*Method, len(p.Methods)),
+		Threads: append([]ThreadDecl(nil), p.Threads...),
+	}
+	for i, c := range p.Classes {
+		cc := *c
+		cc.Fields = append([]Field(nil), c.Fields...)
+		q.Classes[i] = &cc
+	}
+	for i, m := range p.Methods {
+		mm := *m
+		mm.Code = append([]Instr(nil), m.Code...)
+		mm.Handlers = append([]Handler(nil), m.Handlers...)
+		mm.Regions = append([]SyncRegion(nil), m.Regions...)
+		q.Methods[i] = &mm
+	}
+	return q
+}

@@ -1,0 +1,359 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+const miniProgram = `
+# A small complete program.
+static counter = 0
+static flag volatile = 1
+
+class Point {
+    x
+    y volatile
+    z = 7
+}
+
+thread worker priority 2 run workerMain
+thread boss priority 8 run bossMain
+
+method workerMain locals 2 {
+    const 10
+    store 0
+  loop:
+    load 0
+    ifz done
+    load 0
+    const 1
+    sub
+    store 0
+    goto loop
+  done:
+    return
+}
+
+method bossMain locals 1 {
+    getstatic counter
+    const 1
+    add
+    putstatic counter
+    return
+}
+
+method Point.get args 1 locals 1 returns {
+    load 0
+    getfield Point.x
+    ireturn
+}
+`
+
+func TestAssembleMiniProgram(t *testing.T) {
+	p, err := Assemble(miniProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Statics) != 2 || len(p.Classes) != 1 || len(p.Methods) != 3 || len(p.Threads) != 2 {
+		t.Fatalf("counts: %d statics %d classes %d methods %d threads",
+			len(p.Statics), len(p.Classes), len(p.Methods), len(p.Threads))
+	}
+	if !p.Statics[1].Volatile || p.Statics[1].Name != "flag" || p.Statics[1].Init != 1 {
+		t.Errorf("static flag parsed wrong: %+v", p.Statics[1])
+	}
+	cls, _ := p.Class("Point")
+	if len(cls.Fields) != 3 || !cls.Fields[1].Volatile || cls.Fields[2].Init != 7 {
+		t.Errorf("class fields wrong: %+v", cls.Fields)
+	}
+	if i, ok := cls.FieldIndex("y"); !ok || i != 1 {
+		t.Errorf("FieldIndex(y) = %d,%v", i, ok)
+	}
+	if p.Threads[1].Priority != 8 || p.Threads[1].Method != "bossMain" {
+		t.Errorf("thread parsed wrong: %+v", p.Threads[1])
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestAssembleLabelsResolve(t *testing.T) {
+	p := MustAssemble(miniProgram)
+	m, _ := p.Method("workerMain")
+	// The ifz at pc 2 must target the pc labelled "done".
+	var ifzTarget, gotoTarget int
+	for _, in := range m.Code {
+		if in.Op == IFZ {
+			ifzTarget = in.A
+		}
+		if in.Op == GOTO {
+			gotoTarget = in.A
+		}
+	}
+	if m.Code[ifzTarget].Op != RETURN {
+		t.Errorf("ifz targets %v, want return", m.Code[ifzTarget].Op)
+	}
+	if gotoTarget != 2 {
+		t.Errorf("goto targets %d, want 2 (loop head)", gotoTarget)
+	}
+}
+
+func TestAssembleFieldSymbolResolution(t *testing.T) {
+	p := MustAssemble(miniProgram)
+	m, _ := p.Method("Point.get")
+	if m.Code[1].Op != GETFIELD || m.Code[1].A != 0 {
+		t.Errorf("getfield Point.x resolved to %+v", m.Code[1])
+	}
+}
+
+func TestAssembleSyncBlocks(t *testing.T) {
+	p := MustAssemble(`
+class Lock {
+    dummy
+}
+method run locals 2 {
+    newobj Lock
+    store 0
+    sync 0 {
+        const 1
+        pop
+        sync 0 {
+            const 2
+            pop
+        }
+    }
+    return
+}
+`)
+	m, _ := p.Method("run")
+	if len(m.Regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(m.Regions))
+	}
+	// Innermost first.
+	inner, outer := m.Regions[0], m.Regions[1]
+	if !(outer.EnterPC < inner.EnterPC && inner.ExitPC < outer.ExitPC) {
+		t.Errorf("region nesting wrong: inner=%+v outer=%+v", inner, outer)
+	}
+	if m.Code[inner.EnterPC].Op != LOAD || m.Code[inner.EnterPC+1].Op != MONITORENTER {
+		t.Errorf("region entry code wrong")
+	}
+	if m.Code[inner.ExitPC].Op != MONITOREXIT {
+		t.Errorf("region exit code wrong")
+	}
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleHandlers(t *testing.T) {
+	p := MustAssemble(`
+method risky locals 1 {
+  tryStart:
+    throw Boom
+  tryEnd:
+    return
+  catcher:
+    pop
+    return
+}
+handler risky from tryStart to tryEnd target catcher catch Boom
+`)
+	m, _ := p.Method("risky")
+	if len(m.Handlers) != 1 {
+		t.Fatalf("handlers = %d", len(m.Handlers))
+	}
+	h := m.Handlers[0]
+	if h.From != 0 || h.Catch != "Boom" {
+		t.Errorf("handler = %+v", h)
+	}
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus directive",
+		"method m { zzz\n}",
+		"method m locals 1 {\n goto nowhere\n return\n}",
+		"static",
+		"class C x",                            // missing {
+		"thread t run",                         // missing method
+		"method m {\n return",                  // missing }
+		"handler m from a to b target c catch", // malformed
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestVerifyCatchesStackUnderflow(t *testing.T) {
+	p := MustAssemble(`
+method bad locals 1 {
+    add
+    return
+}
+`)
+	if err := Verify(p); err == nil {
+		t.Fatal("underflow not caught")
+	}
+}
+
+func TestVerifyCatchesInconsistentMerge(t *testing.T) {
+	p := &Program{Methods: []*Method{{
+		Name:   "bad",
+		Locals: 1,
+		Code: []Instr{
+			{Op: LOAD, A: 0},  // 0: depth 0 -> 1
+			{Op: IFNZ, A: 0},  // 1: branch back to 0 with depth 0; fallthrough depth 0
+			{Op: CONST, V: 1}, // 2: depth 0 -> 1
+			{Op: IFNZ, A: 0},  // 3: jump to 0 with depth... consistent actually
+			{Op: RETURN},
+		},
+	}}}
+	// Build a real inconsistency: jump into the middle of a push sequence.
+	p = &Program{Methods: []*Method{{
+		Name:   "bad",
+		Locals: 1,
+		Code: []Instr{
+			{Op: CONST, V: 1}, // 0: -> depth 1
+			{Op: IFNZ, A: 3},  // 1: to 3 with depth 0
+			{Op: CONST, V: 2}, // 2: depth 0 -> 1
+			{Op: POP},         // 3: depth 1 (fallthrough) vs 0 (branch): inconsistent
+			{Op: RETURN},
+		},
+	}}}
+	if err := Verify(p); err == nil {
+		t.Fatal("inconsistent merge not caught")
+	}
+}
+
+func TestVerifyCatchesBadLocals(t *testing.T) {
+	p := &Program{Methods: []*Method{{
+		Name: "bad", Locals: 1,
+		Code: []Instr{{Op: LOAD, A: 5}, {Op: POP}, {Op: RETURN}},
+	}}}
+	if err := Verify(p); err == nil {
+		t.Fatal("bad local not caught")
+	}
+}
+
+func TestVerifyCatchesFallOffEnd(t *testing.T) {
+	p := &Program{Methods: []*Method{{
+		Name: "bad", Locals: 0,
+		Code: []Instr{{Op: NOP}},
+	}}}
+	if err := Verify(p); err == nil {
+		t.Fatal("fall-off-end not caught")
+	}
+}
+
+func TestVerifyCatchesUnknownSymbols(t *testing.T) {
+	p := &Program{Methods: []*Method{{
+		Name: "bad", Locals: 0,
+		Code: []Instr{{Op: INVOKE, S: "missing"}, {Op: RETURN}},
+	}}}
+	if err := Verify(p); err == nil {
+		t.Fatal("unknown invoke not caught")
+	}
+	p = &Program{Methods: []*Method{{
+		Name: "bad", Locals: 0,
+		Code: []Instr{{Op: NEWOBJ, S: "Nope"}, {Op: POP}, {Op: RETURN}},
+	}}}
+	if err := Verify(p); err == nil {
+		t.Fatal("unknown class not caught")
+	}
+}
+
+func TestVerifyThreadDecls(t *testing.T) {
+	p := &Program{
+		Methods: []*Method{{Name: "m", Locals: 0, Code: []Instr{{Op: RETURN}}}},
+		Threads: []ThreadDecl{{Name: "t", Priority: 99, Method: "m"}},
+	}
+	if err := Verify(p); err == nil {
+		t.Fatal("bad priority not caught")
+	}
+	p.Threads[0].Priority = 5
+	p.Threads[0].Method = "nope"
+	if err := Verify(p); err == nil {
+		t.Fatal("unknown thread method not caught")
+	}
+}
+
+func TestVerifyComputesMaxStack(t *testing.T) {
+	p := MustAssemble(`
+method deep locals 0 {
+    const 1
+    const 2
+    const 3
+    add
+    add
+    pop
+    return
+}
+`)
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := p.Method("deep")
+	if m.MaxStack != 3 {
+		t.Errorf("MaxStack = %d, want 3", m.MaxStack)
+	}
+}
+
+func TestVerifyReturnMismatch(t *testing.T) {
+	p := &Program{Methods: []*Method{{
+		Name: "bad", Locals: 0, Returns: true,
+		Code: []Instr{{Op: RETURN}},
+	}}}
+	if err := Verify(p); err == nil {
+		t.Fatal("return in value method not caught")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustAssemble(miniProgram)
+	q := p.Clone()
+	q.Methods[0].Code[0] = Instr{Op: NOP}
+	q.Classes[0].Fields[0].Name = "mutated"
+	q.Statics[0].Name = "mutated"
+	if p.Methods[0].Code[0].Op == NOP {
+		t.Error("clone shares code")
+	}
+	if p.Classes[0].Fields[0].Name == "mutated" {
+		t.Error("clone shares fields")
+	}
+	if p.Statics[0].Name == "mutated" {
+		t.Error("clone shares statics")
+	}
+}
+
+func TestDisassembleRoundtrip(t *testing.T) {
+	p := MustAssemble(miniProgram)
+	if err := Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := p.Method("workerMain")
+	dis := Disassemble(m)
+	for _, want := range []string{"method workerMain", "const 1", "goto @2", "return"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if MONITORENTER.String() != "monitorenter" {
+		t.Error("op name wrong")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op string")
+	}
+	// Every named op round-trips through the assembler table.
+	for op, name := range opNames {
+		if got, ok := opByName[name]; !ok || got != op {
+			t.Errorf("op %v does not round-trip", op)
+		}
+	}
+}

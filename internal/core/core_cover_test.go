@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/sched"
+)
+
+// TestArrayBarriers covers the array read/write barrier paths and their
+// rollback.
+func TestArrayBarriers(t *testing.T) {
+	rt := New(Config{Mode: Revocation, TrackDependencies: true, Sched: sched.Config{Quantum: 50}})
+	a := rt.Heap().AllocArray(4)
+	m := rt.NewMonitor("M")
+	var highSaw heap.Word = -1
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			for i := 0; i < 4; i++ {
+				tk.WriteElem(a, i, heap.Word(100+i))
+			}
+			if got := tk.ReadElem(a, 2); got != 102 {
+				t.Errorf("own read = %d", got)
+			}
+			tk.Work(800)
+		})
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Work(20)
+		tk.Synchronized(m, func() {
+			highSaw = tk.ReadElem(a, 2)
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if highSaw != 0 {
+		t.Fatalf("high saw %d, want 0 (array writes rolled back)", highSaw)
+	}
+	if got := a.Get(2); got != 102 {
+		t.Fatalf("final a[2] = %d, want 102 (re-executed)", got)
+	}
+}
+
+// TestNotifyAllWakesEveryWaiter covers the NotifyAll wrapper.
+func TestNotifyAllWakesEveryWaiter(t *testing.T) {
+	rt := New(Config{Mode: Revocation, Sched: sched.Config{Quantum: 100}})
+	flag := rt.Heap().DefineStatic("flag", false, 0)
+	m := rt.NewMonitor("M")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		rt.Spawn("waiter", sched.NormPriority, func(tk *Task) {
+			tk.Synchronized(m, func() {
+				for tk.ReadStatic(flag) == 0 {
+					tk.Wait(m)
+				}
+				woken++
+			})
+		})
+	}
+	rt.Spawn("broadcaster", sched.NormPriority, func(tk *Task) {
+		tk.Work(500)
+		tk.Synchronized(m, func() {
+			tk.WriteStatic(flag, 1)
+			tk.NotifyAll(m)
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+// TestSleepDeliversPendingRevocation covers the Sleep-side delivery path:
+// a revocation arriving while the victim sleeps inside its section.
+func TestSleepDeliversPendingRevocation(t *testing.T) {
+	rt := New(Config{Mode: Revocation, Sched: sched.Config{Quantum: 50}})
+	o := rt.Heap().AllocPlain("C", 1)
+	m := rt.NewMonitor("M")
+	attempts := 0
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			attempts++
+			tk.WriteField(o, 0, 9)
+			if attempts == 1 {
+				tk.Sleep(2000) // revocation arrives mid-sleep
+			}
+		})
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Work(100)
+		tk.Synchronized(m, func() {
+			if got := tk.ReadField(o, 0); got != 0 {
+				t.Errorf("high saw %d, want 0", got)
+			}
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (revoked out of Sleep)", attempts)
+	}
+	if rt.Stats().Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d", rt.Stats().Rollbacks)
+	}
+}
+
+// TestEngineAPISameBehaviourAsSynchronized drives a section through the
+// engine entry points directly (EngineEnter/EngineExit + AsRevocation /
+// EngineUnwind), mirroring what an execution engine does.
+func TestEngineAPISameBehaviourAsSynchronized(t *testing.T) {
+	rt := New(Config{Mode: Revocation, Sched: sched.Config{Quantum: 50}})
+	o := rt.Heap().AllocPlain("C", 1)
+	m := rt.NewMonitor("M")
+	attempts := 0
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		for {
+			if tk.EngineFrameDepth() != 0 {
+				t.Error("frame depth not clean before enter")
+			}
+			tk.EngineEnter(m)
+			done := func() (done bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						info, ok := AsRevocation(r)
+						if !ok {
+							panic(r)
+						}
+						tk.EngineUnwind(info)
+						done = false
+						return
+					}
+				}()
+				attempts++
+				tk.WriteField(o, 0, heap.Word(attempts))
+				if attempts == 1 {
+					tk.Work(1500) // revoked in here
+				}
+				tk.EngineExit(m)
+				return true
+			}()
+			if done {
+				return
+			}
+		}
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Work(100)
+		tk.Synchronized(m, func() {
+			if got := tk.ReadField(o, 0); got != 0 {
+				t.Errorf("high saw %d, want 0", got)
+			}
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if got := o.Get(0); got != 2 {
+		t.Fatalf("final = %d, want 2", got)
+	}
+}
+
+// TestMarkIrrevocableNoSection is a no-op outside sections.
+func TestMarkIrrevocableNoSection(t *testing.T) {
+	rt := New(Config{Mode: Revocation})
+	rt.Spawn("a", sched.NormPriority, func(tk *Task) {
+		tk.MarkIrrevocable("nothing held") // must not panic
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().NonRevocableMarks != 0 {
+		t.Fatal("marks counted with no section")
+	}
+}

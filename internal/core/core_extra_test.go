@@ -1,0 +1,563 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// TestSectionAtomicityProperty is the central safety property: under random
+// contention with revocations, every synchronized section appears atomic.
+// Each writer section stores a consistent triple (x, x+1, x+2); every
+// observer (inside the same monitor) must always see a consistent triple.
+func TestSectionAtomicityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rt := New(Config{
+			Mode:              Revocation,
+			TrackDependencies: true,
+			DeadlockDetection: true,
+			Sched:             sched.Config{Quantum: 13, Seed: seed},
+		})
+		h := rt.Heap()
+		o := h.AllocPlain("triple", 3)
+		o.Set(1, 1) // start from the consistent triple (0, 1, 2)
+		o.Set(2, 2)
+		m := rt.NewMonitor("M")
+		consistent := true
+		rng := rand.New(rand.NewSource(seed))
+		prios := []sched.Priority{sched.LowPriority, sched.NormPriority, sched.HighPriority}
+		for i := 0; i < 6; i++ {
+			base := heap.Word(rng.Int63n(1000))
+			prio := prios[rng.Intn(len(prios))]
+			rt.Spawn(fmt.Sprintf("t%d", i), prio, func(tk *Task) {
+				for k := 0; k < 4; k++ {
+					tk.Synchronized(m, func() {
+						a := tk.ReadField(o, 0)
+						b := tk.ReadField(o, 1)
+						c := tk.ReadField(o, 2)
+						if b != a+1 || c != a+2 {
+							consistent = false
+						}
+						v := base + heap.Word(k)
+						tk.WriteField(o, 0, v)
+						tk.Work(simtime.Ticks(rng.Intn(30)))
+						tk.WriteField(o, 1, v+1)
+						tk.Work(simtime.Ticks(rng.Intn(30)))
+						tk.WriteField(o, 2, v+2)
+					})
+					tk.Work(simtime.Ticks(rng.Intn(20)))
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		// Final state must also be a consistent triple.
+		if o.Get(1) != o.Get(0)+1 || o.Get(2) != o.Get(0)+2 {
+			return false
+		}
+		return consistent
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism: identical seeds give bit-identical schedules, stats and
+// final virtual time.
+func TestDeterminism(t *testing.T) {
+	run := func() (simtime.Ticks, Stats) {
+		rt := New(Config{
+			Mode:              Revocation,
+			TrackDependencies: true,
+			Sched:             sched.Config{Quantum: 17, Seed: 99},
+		})
+		h := rt.Heap()
+		o := h.AllocPlain("C", 1)
+		m := rt.NewMonitor("M")
+		for i := 0; i < 4; i++ {
+			prio := sched.LowPriority
+			if i%2 == 0 {
+				prio = sched.HighPriority
+			}
+			rt.Spawn(fmt.Sprintf("t%d", i), prio, func(tk *Task) {
+				for k := 0; k < 5; k++ {
+					tk.Sleep(simtime.Ticks(rt.Scheduler().Rng().Int63n(20)))
+					tk.Synchronized(m, func() {
+						x := tk.ReadField(o, 0)
+						tk.Work(40)
+						tk.WriteField(o, 0, x+1)
+					})
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Now(), rt.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("virtual end times differ: %d vs %d", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ:\n%+v\n%+v", s1, s2)
+	}
+}
+
+// TestMediumThreadsScenario is the motivating unbounded-inversion schedule:
+// one low thread holds the lock, several medium threads hog the CPU, one
+// high thread needs the lock. With revocation the high thread's completion
+// time must beat the unmodified VM's.
+func TestMediumThreadsScenario(t *testing.T) {
+	run := func(mode Mode) simtime.Ticks {
+		rt := New(Config{Mode: mode, Sched: sched.Config{Quantum: 50, Seed: 7}})
+		m := rt.NewMonitor("M")
+		var highDone simtime.Ticks
+		rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+			tk.Synchronized(m, func() {
+				tk.Work(5000)
+			})
+		})
+		for i := 0; i < 4; i++ {
+			rt.Spawn(fmt.Sprintf("med%d", i), sched.NormPriority, func(tk *Task) {
+				tk.Work(3000)
+			})
+		}
+		rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+			tk.Work(60) // let low grab the lock first
+			tk.Synchronized(m, func() {
+				tk.Work(100)
+			})
+			highDone = rt.Now()
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return highDone
+	}
+	modified := run(Revocation)
+	unmodified := run(Unmodified)
+	if modified >= unmodified {
+		t.Fatalf("revocation did not help the high-priority thread: %d vs %d", modified, unmodified)
+	}
+}
+
+// TestPeriodicDetection uses the background scanner instead of acquire-time
+// detection; the inversion must still be resolved.
+func TestPeriodicDetection(t *testing.T) {
+	rt := New(Config{
+		Mode:         Revocation,
+		Detect:       DetectPeriodic,
+		DetectPeriod: 25,
+		Sched:        sched.Config{Quantum: 25},
+	})
+	m := rt.NewMonitor("M")
+	var order []string
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.Work(2000)
+			order = append(order, "low")
+		})
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Work(30)
+		tk.Synchronized(m, func() {
+			order = append(order, "high")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "high" {
+		t.Fatalf("order = %v, want high first via periodic detection", order)
+	}
+	if rt.Stats().Rollbacks == 0 {
+		t.Fatal("no rollback via periodic detection")
+	}
+}
+
+// TestPriorityInheritanceProtocol: with inheritance enabled (and
+// Unmodified mode), the blocked high-priority thread boosts the owner.
+func TestPriorityInheritanceProtocol(t *testing.T) {
+	rt := New(Config{
+		Mode:                Unmodified,
+		PriorityInheritance: true,
+		Sched:               sched.Config{Quantum: 50, Policy: sched.PriorityRR},
+	})
+	m := rt.NewMonitor("M")
+	var lowTask *Task
+	var boosted sched.Priority
+	lowTask = rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.Work(500)
+			boosted = tk.Priority() // while high is blocked on us
+		})
+		if tk.Priority() != sched.LowPriority {
+			t.Error("priority not restored after release")
+		}
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Sleep(10) // let low grab the lock under the priority scheduler
+		tk.Synchronized(m, func() {})
+	})
+	_ = lowTask
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if boosted != sched.HighPriority {
+		t.Fatalf("owner priority while blocked = %d, want %d (inherited)", boosted, sched.HighPriority)
+	}
+}
+
+// TestTransitiveInheritance: a chain low->mid->high must boost both owners.
+func TestTransitiveInheritance(t *testing.T) {
+	rt := New(Config{
+		Mode:                Unmodified,
+		PriorityInheritance: true,
+		Sched:               sched.Config{Quantum: 50, Policy: sched.PriorityRR},
+	})
+	m1 := rt.NewMonitor("M1")
+	m2 := rt.NewMonitor("M2")
+	var lowPrioSeen sched.Priority
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m1, func() {
+			tk.Work(800)
+			lowPrioSeen = tk.Priority()
+		})
+	})
+	rt.Spawn("mid", sched.NormPriority, func(tk *Task) {
+		tk.Sleep(10)
+		tk.Synchronized(m2, func() {
+			tk.Synchronized(m1, func() {}) // blocks on low
+		})
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Sleep(200)                  // arrive after mid holds M2 and is blocked on M1
+		tk.Synchronized(m2, func() {}) // blocks on mid, boosting low transitively
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lowPrioSeen != sched.HighPriority {
+		t.Fatalf("low's priority = %d, want %d via transitive inheritance", lowPrioSeen, sched.HighPriority)
+	}
+}
+
+// TestPriorityCeilingProtocol: acquiring a monitor with a ceiling raises
+// the owner immediately, preventing preemption by mid-priority threads
+// under the priority scheduler.
+func TestPriorityCeilingProtocol(t *testing.T) {
+	rt := New(Config{
+		Mode:            Unmodified,
+		PriorityCeiling: true,
+		Sched:           sched.Config{Quantum: 50, Policy: sched.PriorityRR},
+	})
+	m := rt.NewMonitor("M")
+	m.Ceiling = sched.HighPriority
+	var inside sched.Priority
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			inside = tk.Priority()
+		})
+		if tk.Priority() != sched.LowPriority {
+			t.Error("priority not restored after ceiling release")
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inside != sched.HighPriority {
+		t.Fatalf("priority inside ceiling section = %d, want %d", inside, sched.HighPriority)
+	}
+}
+
+// TestInheritOnDenied: when a revocation is denied (non-revocable section),
+// the InheritOnDenied fallback boosts the owner instead.
+func TestInheritOnDenied(t *testing.T) {
+	rt := New(Config{
+		Mode:            Revocation,
+		InheritOnDenied: true,
+		Sched:           sched.Config{Quantum: 50, Policy: sched.PriorityRR},
+	})
+	m := rt.NewMonitor("M")
+	var boosted sched.Priority
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.Native("irrevocable", nil)
+			tk.Work(500)
+			boosted = tk.Priority()
+		})
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Sleep(10)
+		tk.Synchronized(m, func() {})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if boosted != sched.HighPriority {
+		t.Fatalf("owner priority = %d, want boosted to %d after denial", boosted, sched.HighPriority)
+	}
+}
+
+// TestDeadlockLivelockGuard: two threads that deadlock repeatedly must
+// converge (bounded rollbacks) thanks to victim selection + backoff.
+func TestDeadlockLivelockGuard(t *testing.T) {
+	rt := New(Config{
+		Mode:              Revocation,
+		DeadlockDetection: true,
+		DeadlockBackoff:   40,
+		Sched:             sched.Config{Quantum: 10, Seed: 3},
+	})
+	l1 := rt.NewMonitor("L1")
+	l2 := rt.NewMonitor("L2")
+	for i := 0; i < 2; i++ {
+		a, b := l1, l2
+		if i == 1 {
+			a, b = l2, l1
+		}
+		rt.Spawn(fmt.Sprintf("T%d", i), sched.NormPriority, func(tk *Task) {
+			for k := 0; k < 5; k++ {
+				tk.Synchronized(a, func() {
+					tk.Work(30)
+					tk.Synchronized(b, func() {
+						tk.Work(5)
+					})
+				})
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Rollbacks > 100 {
+		t.Fatalf("livelock suspected: %d rollbacks", st.Rollbacks)
+	}
+}
+
+// TestVolatileObjectFieldDependency: volatile object fields participate in
+// dependency tracking like volatile statics.
+func TestVolatileObjectFieldDependency(t *testing.T) {
+	rt := New(Config{Mode: Revocation, TrackDependencies: true, Sched: sched.Config{Quantum: 50}})
+	h := rt.Heap()
+	o := h.AllocObject("C", heap.FieldSpec{Name: "vol", Volatile: true})
+	m := rt.NewMonitor("M")
+	var order []string
+	rt.Spawn("T", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.WriteField(o, 0, 1)
+			tk.Work(800)
+			order = append(order, "T")
+		})
+	})
+	rt.Spawn("T'", sched.NormPriority, func(tk *Task) {
+		tk.Work(30)
+		tk.ReadField(o, 0)
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(100)
+		tk.Synchronized(m, func() { order = append(order, "Th") })
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "T" {
+		t.Fatalf("order = %v: revocation after observed volatile write", order)
+	}
+}
+
+// TestNotifyIsRevocable (§2.2): a notify followed by rollback behaves as a
+// spurious wakeup; the waiting thread re-checks its condition and keeps
+// waiting, and the system completes once a real notify arrives.
+func TestNotifyIsRevocable(t *testing.T) {
+	rt := New(Config{Mode: Revocation, TrackDependencies: true, Sched: sched.Config{Quantum: 40}})
+	h := rt.Heap()
+	flag := h.DefineStatic("flag", false, 0)
+	cond := rt.NewMonitor("cond")
+	work := rt.NewMonitor("work")
+	var consumerDone bool
+	rt.Spawn("consumer", sched.HighPriority, func(tk *Task) {
+		tk.Work(5)
+		tk.Synchronized(cond, func() {
+			for tk.ReadStatic(flag) == 0 {
+				tk.Wait(cond)
+			}
+		})
+		consumerDone = true
+	})
+	// low sets the flag and notifies inside a *nested* section under
+	// "work"; a revocation of "work" would roll back the flag write but
+	// the notify stays delivered — a legal spurious wakeup.
+	rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(work, func() {
+			tk.Synchronized(cond, func() {
+				tk.Notify(cond) // early notify, flag still 0: spurious for consumer
+			})
+			tk.Work(600)
+		})
+		tk.Synchronized(cond, func() {
+			tk.WriteStatic(flag, 1)
+			tk.Notify(cond)
+		})
+	})
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Work(50)
+		tk.Synchronized(work, func() {}) // revokes low's "work" section
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !consumerDone {
+		t.Fatal("consumer never completed")
+	}
+}
+
+// TestMonitorForIsStable: the same object maps to the same monitor.
+func TestMonitorForIsStable(t *testing.T) {
+	rt := New(Config{})
+	o := rt.Heap().AllocPlain("C", 1)
+	if rt.MonitorFor(o) != rt.MonitorFor(o) {
+		t.Fatal("MonitorFor not stable")
+	}
+	if len(rt.Monitors()) != 1 {
+		t.Fatal("monitor registered twice")
+	}
+}
+
+// TestTaskFinishInsideSectionPanics: leaking a section is a programming
+// error surfaced loudly.
+func TestTaskFinishInsideSectionPanics(t *testing.T) {
+	rt := New(Config{Mode: Revocation})
+	m := rt.NewMonitor("M")
+	type leak struct{ Task *Task }
+	_ = leak{}
+	rt.Spawn("bad", sched.NormPriority, func(tk *Task) {
+		// Enter without exiting by calling the internal path: simulate by
+		// panicking out of the section body with a non-rollback panic.
+		defer func() { recover() }()
+		tk.Synchronized(m, func() { panic("user panic") })
+	})
+	err := rt.Run()
+	if err == nil {
+		t.Fatal("expected error from leaked section / user panic")
+	}
+}
+
+// TestStatsAccessors exercises remaining introspection paths.
+func TestStatsAccessors(t *testing.T) {
+	var rec trace.Recorder
+	rt := New(Config{Mode: Revocation, TrackDependencies: true, Tracer: &rec, Sched: sched.Config{Quantum: 30}})
+	m := rt.NewMonitor("M")
+	tk0 := rt.Spawn("a", sched.NormPriority, func(tk *Task) {
+		if tk.Name() != "a" || tk.Priority() != sched.NormPriority {
+			t.Error("task introspection wrong")
+		}
+		if tk.InSection() || tk.Depth() != 0 {
+			t.Error("section state wrong outside section")
+		}
+		tk.Synchronized(m, func() {
+			if !tk.InSection() || tk.Depth() != 1 {
+				t.Error("section state wrong inside section")
+			}
+			tk.YieldPoint()
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tk0.Thread() == nil || tk0.Rollbacks() != 0 {
+		t.Error("task accessors wrong")
+	}
+	if len(rt.Tasks()) != 1 {
+		t.Error("Tasks() wrong")
+	}
+	if rt.Mode() != Revocation {
+		t.Error("Mode() wrong")
+	}
+	if rt.Config().CostRead != 1 {
+		t.Error("Config defaults not filled")
+	}
+}
+
+// TestModeAndDetectStrings covers the String methods.
+func TestModeAndDetectStrings(t *testing.T) {
+	if Unmodified.String() != "unmodified" || Revocation.String() != "revocation" {
+		t.Error("mode strings")
+	}
+	if DetectOnAcquire.String() != "on-acquire" || DetectPeriodic.String() != "periodic" || DetectBoth.String() != "both" {
+		t.Error("detect strings")
+	}
+	if Mode(9).String() == "" || DetectMode(9).String() == "" {
+		t.Error("unknown strings")
+	}
+}
+
+// TestNoCostsMode: with NoCosts the virtual clock only moves via explicit
+// sleeps, supporting pure wall-clock micro-benchmarks.
+func TestNoCostsMode(t *testing.T) {
+	rt := New(Config{Mode: Revocation, NoCosts: true})
+	o := rt.Heap().AllocPlain("C", 1)
+	m := rt.NewMonitor("M")
+	rt.Spawn("a", sched.NormPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			for i := 0; i < 100; i++ {
+				tk.WriteField(o, 0, heap.Word(i))
+			}
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Now() != 0 {
+		t.Fatalf("clock = %d, want 0 under NoCosts", rt.Now())
+	}
+}
+
+// TestHighPriorityUpdatesAreLoggedToo (§4.1 fairness): the modified VM logs
+// high-priority threads' updates as well.
+func TestHighPriorityUpdatesAreLoggedToo(t *testing.T) {
+	rt := New(Config{Mode: Revocation, Sched: sched.Config{Quantum: 30}})
+	o := rt.Heap().AllocPlain("C", 1)
+	m := rt.NewMonitor("M")
+	rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.WriteField(o, 0, 1)
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().EntriesLogged != 1 {
+		t.Fatalf("EntriesLogged = %d, want 1", rt.Stats().EntriesLogged)
+	}
+}
+
+// TestStoresOutsideSectionsNotLogged: the barrier fast path skips logging
+// outside synchronized sections.
+func TestStoresOutsideSectionsNotLogged(t *testing.T) {
+	rt := New(Config{Mode: Revocation})
+	o := rt.Heap().AllocPlain("C", 1)
+	rt.Spawn("a", sched.NormPriority, func(tk *Task) {
+		tk.WriteField(o, 0, 5)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.EntriesLogged != 0 {
+		t.Fatalf("EntriesLogged = %d, want 0", st.EntriesLogged)
+	}
+	if st.BarrierFastPaths != 1 {
+		t.Fatalf("BarrierFastPaths = %d, want 1", st.BarrierFastPaths)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+// TestMultiMonitorAtomicityProperty extends the atomicity property to
+// several monitors with nested acquisition in a globally consistent order
+// (no deadlocks by construction): every monitor guards its own consistent
+// triple; rollbacks must never expose torn triples.
+func TestMultiMonitorAtomicityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rt := New(Config{
+			Mode:              Revocation,
+			TrackDependencies: true,
+			Sched:             sched.Config{Quantum: 29, Seed: seed},
+		})
+		h := rt.Heap()
+		const nMon = 3
+		objs := make([]*heap.Object, nMon)
+		ms := make([]*monAndObj, nMon)
+		for i := 0; i < nMon; i++ {
+			o := h.AllocPlain(fmt.Sprintf("triple%d", i), 3)
+			o.Set(1, 1)
+			o.Set(2, 2)
+			objs[i] = o
+			ms[i] = &monAndObj{m: rt.NewMonitor(fmt.Sprintf("M%d", i)), o: o}
+		}
+		ok := true
+		rng := rand.New(rand.NewSource(seed))
+		prios := []sched.Priority{sched.LowPriority, sched.NormPriority, sched.HighPriority}
+		for ti := 0; ti < 5; ti++ {
+			base := heap.Word(rng.Int63n(1000))
+			prio := prios[rng.Intn(len(prios))]
+			// Each section acquires a random ascending subset of the
+			// monitors (global order prevents deadlock) and updates the
+			// innermost one's triple.
+			first := rng.Intn(nMon)
+			depth := 1 + rng.Intn(nMon-first)
+			work1 := simtime.Ticks(rng.Intn(40))
+			work2 := simtime.Ticks(rng.Intn(40))
+			rt.Spawn(fmt.Sprintf("t%d", ti), prio, func(tk *Task) {
+				for k := 0; k < 3; k++ {
+					var enter func(i int)
+					enter = func(i int) {
+						tk.Synchronized(ms[i].m, func() {
+							if i+1 < first+depth {
+								enter(i + 1)
+								return
+							}
+							o := ms[i].o
+							a := tk.ReadField(o, 0)
+							if tk.ReadField(o, 1) != a+1 || tk.ReadField(o, 2) != a+2 {
+								ok = false
+							}
+							v := base + heap.Word(k)
+							tk.WriteField(o, 0, v)
+							tk.Work(work1)
+							tk.WriteField(o, 1, v+1)
+							tk.Work(work2)
+							tk.WriteField(o, 2, v+2)
+						})
+					}
+					enter(first)
+					tk.Sleep(simtime.Ticks(rng.Intn(30)))
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, o := range objs {
+			if o.Get(1) != o.Get(0)+1 || o.Get(2) != o.Get(0)+2 {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// monAndObj pairs a monitor with the object it guards (test helper).
+type monAndObj struct {
+	m *monitor.Monitor
+	o *heap.Object
+}
+
+// TestDeadlockStormProperty spawns threads acquiring random lock pairs in
+// random order — a deadlock factory. With detection enabled every run must
+// complete, and mutual exclusion totals must be exact.
+func TestDeadlockStormProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rt := New(Config{
+			Mode:              Revocation,
+			DeadlockDetection: true,
+			DeadlockBackoff:   50,
+			Sched:             sched.Config{Quantum: 23, Seed: seed},
+		})
+		h := rt.Heap()
+		const threads, rounds = 4, 4
+		// Each thread increments its own slot so the final total is exact
+		// even though different threads guard their writes with different
+		// locks (a shared slot would be a legal data race).
+		counter := h.AllocPlain("counter", threads)
+		locks := []*monitor.Monitor{rt.NewMonitor("A"), rt.NewMonitor("B"), rt.NewMonitor("C")}
+		rng := rand.New(rand.NewSource(seed))
+		for ti := 0; ti < threads; ti++ {
+			ti := ti
+			a := rng.Intn(len(locks))
+			b := rng.Intn(len(locks))
+			w := simtime.Ticks(rng.Intn(60) + 1)
+			rt.Spawn(fmt.Sprintf("t%d", ti), sched.NormPriority, func(tk *Task) {
+				for k := 0; k < rounds; k++ {
+					tk.Synchronized(locks[a], func() {
+						tk.Work(w)
+						incr := func() {
+							v := tk.ReadField(counter, ti)
+							tk.WriteField(counter, ti, v+1)
+						}
+						if a != b {
+							tk.Synchronized(locks[b], incr)
+						} else {
+							incr()
+						}
+					})
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		total := heap.Word(0)
+		for i := 0; i < threads; i++ {
+			total += counter.Get(i)
+		}
+		return total == threads*rounds
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsInvariants: across random contended runs, the counters obey
+// their structural relations.
+func TestStatsInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rt := New(Config{
+			Mode:              Revocation,
+			TrackDependencies: true,
+			Sched:             sched.Config{Quantum: 31, Seed: seed},
+		})
+		o := rt.Heap().AllocPlain("o", 4)
+		m := rt.NewMonitor("m")
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 6; i++ {
+			prio := sched.Priority(1 + rng.Intn(9))
+			w := simtime.Ticks(rng.Intn(100))
+			rt.Spawn(fmt.Sprintf("t%d", i), prio, func(tk *Task) {
+				for k := 0; k < 4; k++ {
+					tk.Sleep(simtime.Ticks(rng.Intn(50)))
+					tk.Synchronized(m, func() {
+						tk.WriteField(o, k%4, heap.Word(k))
+						tk.Work(w)
+					})
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			return false
+		}
+		st := rt.Stats()
+		// Each rollback and each preempted grant consumed one request.
+		if st.Rollbacks+st.PreemptedGrants > st.RevocationRequests {
+			return false
+		}
+		// Re-executions correspond one-to-one to rollbacks.
+		if st.Reexecutions != st.Rollbacks {
+			return false
+		}
+		// Requests never exceed detected inversions.
+		if st.RevocationRequests > st.Inversions {
+			return false
+		}
+		// Undone entries were all logged first.
+		if st.EntriesUndone > st.EntriesLogged {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevocationUnderPrioritySchedulerProperty: the pathfinder scenario
+// with randomized parameters — the high-priority thread must always finish
+// before the plain-blocking baseline does.
+func TestRevocationUnderPrioritySchedulerProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		run := func(mode Mode) (simtime.Ticks, error) {
+			rng := rand.New(rand.NewSource(seed))
+			rt := New(Config{
+				Mode:  mode,
+				Sched: sched.Config{Quantum: 50, Policy: sched.PriorityRR, Seed: seed},
+			})
+			m := rt.NewMonitor("bus")
+			section := simtime.Ticks(rng.Intn(3000) + 1000)
+			medWork := simtime.Ticks(rng.Intn(5000) + 3000)
+			var highDone simtime.Ticks
+			rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+				tk.Synchronized(m, func() { tk.Work(section) })
+			})
+			for i := 0; i < 3; i++ {
+				rt.Spawn(fmt.Sprintf("med%d", i), sched.NormPriority, func(tk *Task) {
+					tk.Sleep(20)
+					tk.Work(medWork)
+				})
+			}
+			rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+				tk.Sleep(60)
+				tk.Synchronized(m, func() { tk.Work(50) })
+				highDone = rt.Now()
+			})
+			if err := rt.Run(); err != nil {
+				return 0, err
+			}
+			return highDone, nil
+		}
+		rev, err := run(Revocation)
+		if err != nil {
+			return false
+		}
+		plain, err := run(Unmodified)
+		if err != nil {
+			return false
+		}
+		return rev <= plain
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

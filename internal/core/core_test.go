@@ -1,0 +1,718 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func revocationRT(rec *trace.Recorder) *Runtime {
+	var sink trace.Sink = trace.Discard
+	if rec != nil {
+		sink = rec
+	}
+	return New(Config{
+		Mode:              Revocation,
+		TrackDependencies: true,
+		Sched:             sched.Config{Quantum: 50},
+		Tracer:            sink,
+	})
+}
+
+// TestFigure1Flow reproduces the paper's Figure 1: low-priority Tl enters a
+// synchronized section and updates o1; high-priority Th arrives at the same
+// monitor; Tl is preempted, its update to o1 undone, and Th enters the
+// monitor, updates o1 and o2, and leaves; then Tl re-enters and completes.
+func TestFigure1Flow(t *testing.T) {
+	var rec trace.Recorder
+	rt := revocationRT(&rec)
+	h := rt.Heap()
+	o1 := h.AllocObject("o1", heap.FieldSpec{Name: "x"})
+	o2 := h.AllocObject("o2", heap.FieldSpec{Name: "x"})
+	m := rt.NewMonitor("M")
+
+	var order []string
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.WriteField(o1, 0, 111)
+			tk.Work(500) // long enough for Th to arrive and revoke us
+			order = append(order, "Tl-done")
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(10) // arrive after Tl holds the monitor
+		tk.Synchronized(m, func() {
+			// Tl's speculative write must have been undone before we got in.
+			if got := tk.ReadField(o1, 0); got != 0 {
+				t.Errorf("Th sees partial result o1.x = %d, want 0", got)
+			}
+			tk.WriteField(o1, 0, 1)
+			tk.WriteField(o2, 0, 2)
+			order = append(order, "Th-done")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "Th-done" || order[1] != "Tl-done" {
+		t.Fatalf("completion order = %v, want [Th-done Tl-done]", order)
+	}
+	st := rt.Stats()
+	if st.Inversions == 0 {
+		t.Error("no inversion detected")
+	}
+	if st.Rollbacks == 0 {
+		t.Error("no rollback performed")
+	}
+	if rec.CountFor(trace.Rollback, "Tl") == 0 {
+		t.Error("no rollback event for Tl")
+	}
+	if rec.CountFor(trace.Reexecution, "Tl") == 0 {
+		t.Error("no re-execution event for Tl")
+	}
+	// Tl re-executed and ran last: o1.x has Tl's value.
+	if got := o1.Get(0); got != 111 {
+		t.Errorf("final o1.x = %d, want 111", got)
+	}
+	if got := o2.Get(0); got != 2 {
+		t.Errorf("final o2.x = %d, want 2", got)
+	}
+}
+
+// TestUnmodifiedBlocksHighPriority verifies the baseline VM: the
+// high-priority thread waits for the full section.
+func TestUnmodifiedBlocksHighPriority(t *testing.T) {
+	rt := New(Config{Mode: Unmodified, Sched: sched.Config{Quantum: 50}})
+	m := rt.NewMonitor("M")
+	var order []string
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.Work(500)
+			order = append(order, "Tl")
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(10)
+		tk.Synchronized(m, func() {
+			order = append(order, "Th")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "Tl" {
+		t.Fatalf("order = %v: unmodified VM must not preempt the owner", order)
+	}
+	st := rt.Stats()
+	if st.Rollbacks != 0 || st.EntriesLogged != 0 {
+		t.Errorf("unmodified VM logged/rolled back: %+v", st)
+	}
+	if st.Inversions == 0 {
+		t.Error("inversion should still be *detected* (counted) in unmodified mode")
+	}
+}
+
+// TestRollbackRestoresHeap checks the core invariant on a multi-location
+// section: after revocation, every update (object, array, static) is
+// reverted before the high-priority thread enters.
+func TestRollbackRestoresHeap(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	o := h.AllocPlain("C", 4)
+	a := h.AllocArray(4)
+	s := h.DefineStatic("g", false, 0)
+	m := rt.NewMonitor("M")
+
+	var snapAtEntry heap.Snapshot
+	baseline := h.Snapshot()
+	first := true
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			if first {
+				first = false
+				// Dirty everything, then get revoked mid-flight.
+				for i := 0; i < 4; i++ {
+					tk.WriteField(o, i, heap.Word(100+i))
+					tk.WriteElem(a, i, heap.Word(200+i))
+				}
+				tk.WriteStatic(s, 300)
+				tk.Work(1000)
+			}
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(20)
+		tk.Synchronized(m, func() {
+			snapAtEntry = h.Snapshot()
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !baseline.Equal(snapAtEntry) {
+		t.Fatalf("heap not restored before handoff: %s", baseline.Diff(snapAtEntry))
+	}
+	if rt.Stats().EntriesUndone != 9 {
+		t.Errorf("EntriesUndone = %d, want 9", rt.Stats().EntriesUndone)
+	}
+}
+
+// TestNestedRollbackUndoesInnerSections: revoking the outer monitor undoes
+// updates made under inner monitors too, and releases every monitor.
+func TestNestedRollbackUndoesInnerSections(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	o := h.AllocPlain("C", 2)
+	outer := rt.NewMonitor("outer")
+	inner := rt.NewMonitor("inner")
+
+	sawClean := false
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(outer, func() {
+			tk.WriteField(o, 0, 1)
+			tk.Synchronized(inner, func() {
+				tk.WriteField(o, 1, 2)
+				tk.Work(1000)
+			})
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(20)
+		tk.Synchronized(outer, func() {
+			sawClean = tk.ReadField(o, 0) == 0 && tk.ReadField(o, 1) == 0
+			// The inner monitor must have been released by the rollback.
+			tk.Synchronized(inner, func() {})
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawClean {
+		t.Fatalf("partial nested updates visible after rollback: o=%d,%d", o.Get(0), o.Get(1))
+	}
+	if rt.Stats().Rollbacks == 0 {
+		t.Fatal("no rollback happened")
+	}
+}
+
+// TestInnerMonitorRevocation: revoking only the inner section keeps the
+// outer section's updates.
+func TestInnerMonitorRevocation(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	o := h.AllocPlain("C", 2)
+	outer := rt.NewMonitor("outer")
+	inner := rt.NewMonitor("inner")
+
+	var seenOuter, seenInner heap.Word
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(outer, func() {
+			tk.WriteField(o, 0, 7) // outer update: must survive
+			tk.Synchronized(inner, func() {
+				tk.WriteField(o, 1, 8) // inner update: revoked
+				tk.Work(1000)
+			})
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(20)
+		tk.Synchronized(inner, func() {
+			seenOuter = o.Get(0) // raw peek: outer write is speculative but present
+			seenInner = tk.ReadField(o, 1)
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seenInner != 0 {
+		t.Errorf("inner update visible after inner rollback: %d", seenInner)
+	}
+	if seenOuter != 7 {
+		t.Errorf("outer update lost by inner rollback: %d", seenOuter)
+	}
+}
+
+// TestReentrantRollbackToFirstAcquisition: with a reentrant section, the
+// rollback horizon is the first acquisition (§1.1: "the point at which the
+// shared resource was first acquired").
+func TestReentrantRollbackToFirstAcquisition(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	o := h.AllocPlain("C", 2)
+	m := rt.NewMonitor("M")
+
+	attempts := 0
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			attempts++
+			tk.WriteField(o, 0, 1)
+			tk.Synchronized(m, func() { // reentrant
+				tk.WriteField(o, 1, 2)
+				if attempts == 1 {
+					tk.Work(1000)
+				}
+			})
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(20)
+		tk.Synchronized(m, func() {
+			if tk.ReadField(o, 0) != 0 || tk.ReadField(o, 1) != 0 {
+				t.Error("reentrant rollback did not reach the first acquisition")
+			}
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("outer section attempts = %d, want 2 (one revocation)", attempts)
+	}
+}
+
+// TestNativeCallForcesNonRevocable (§2.2): after a native method runs
+// inside the section, revocation requests are denied and the high-priority
+// thread must wait.
+func TestNativeCallForcesNonRevocable(t *testing.T) {
+	var rec trace.Recorder
+	rt := revocationRT(&rec)
+	m := rt.NewMonitor("M")
+	var order []string
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.Native("println", func() {})
+			tk.Work(500)
+			order = append(order, "Tl")
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(20)
+		tk.Synchronized(m, func() {
+			order = append(order, "Th")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "Tl" {
+		t.Fatalf("order = %v: non-revocable section was revoked", order)
+	}
+	st := rt.Stats()
+	if st.Rollbacks != 0 {
+		t.Error("rollback of a non-revocable section")
+	}
+	if st.RevocationsDenied == 0 {
+		t.Error("denial not counted")
+	}
+	if rec.Count(trace.NonRevocable) == 0 {
+		t.Error("no non-revocable event")
+	}
+}
+
+// TestNativeMarksEnclosingMonitors: a native call in a nested section makes
+// the *outer* monitor non-revocable too (§2.2: "and all of its enclosing
+// monitors").
+func TestNativeMarksEnclosingMonitors(t *testing.T) {
+	rt := revocationRT(nil)
+	outer := rt.NewMonitor("outer")
+	inner := rt.NewMonitor("inner")
+	var order []string
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(outer, func() {
+			tk.Synchronized(inner, func() {
+				tk.Native("io", nil)
+			})
+			tk.Work(500)
+			order = append(order, "Tl")
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(20)
+		tk.Synchronized(outer, func() {
+			order = append(order, "Th")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "Tl" {
+		t.Fatalf("order = %v: enclosing monitor was revoked despite native call", order)
+	}
+}
+
+// TestFigure2Dependency reproduces the paper's Figure 2: T writes v under
+// outer+inner, releases inner; T' reads v under inner. The read-write
+// dependency must make T's outer monitor non-revocable, so a later
+// revocation attempt is denied.
+func TestFigure2Dependency(t *testing.T) {
+	var rec trace.Recorder
+	rt := revocationRT(&rec)
+	h := rt.Heap()
+	v := h.AllocObject("V", heap.FieldSpec{Name: "v"})
+	outer := rt.NewMonitor("outer")
+	inner := rt.NewMonitor("inner")
+
+	var tPrimeSaw heap.Word = -1
+	var order []string
+	rt.Spawn("T", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(outer, func() {
+			tk.Synchronized(inner, func() {
+				tk.WriteField(v, 0, 42)
+			})
+			// inner released; v=42 is speculative (outer may roll back).
+			tk.Work(800)
+			order = append(order, "T")
+		})
+	})
+	rt.Spawn("T'", sched.NormPriority, func(tk *Task) {
+		tk.Work(30)
+		tk.Synchronized(inner, func() {
+			tPrimeSaw = tk.ReadField(v, 0) // creates the dependency
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(100) // arrive after T' has read
+		tk.Synchronized(outer, func() {
+			order = append(order, "Th")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tPrimeSaw != 42 {
+		t.Fatalf("T' read %d, want 42 (the allowed speculative read)", tPrimeSaw)
+	}
+	if order[0] != "T" {
+		t.Fatalf("order = %v: outer was revoked after T' observed its write", order)
+	}
+	if rt.Stats().Dependencies == 0 {
+		t.Error("dependency not detected")
+	}
+	if rt.Stats().RevocationsDenied == 0 {
+		t.Error("revocation not denied")
+	}
+}
+
+// TestFigure3Volatile reproduces Figure 3: T writes a volatile inside a
+// monitor; T' reads the volatile with no monitor at all. The dependency
+// must still be detected and M marked non-revocable.
+func TestFigure3Volatile(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	vol := h.DefineStatic("vol", true, 0)
+	m := rt.NewMonitor("M")
+
+	var order []string
+	rt.Spawn("T", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.WriteStatic(vol, 1)
+			tk.Work(800)
+			order = append(order, "T")
+		})
+	})
+	rt.Spawn("T'", sched.NormPriority, func(tk *Task) {
+		tk.Work(30)
+		tk.ReadStatic(vol) // unmonitored volatile read
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(100)
+		tk.Synchronized(m, func() {
+			order = append(order, "Th")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "T" {
+		t.Fatalf("order = %v: M revoked after volatile was observed", order)
+	}
+	if rt.Stats().RevocationsDenied == 0 {
+		t.Error("revocation not denied")
+	}
+}
+
+// TestNoDependencyNoMarking: reads mediated by the same monitor never
+// create dependencies (mutual exclusion prevents overlap), so revocability
+// is preserved — the paper's argument for why the design choice is cheap.
+func TestNoDependencyNoMarking(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	o := h.AllocPlain("C", 1)
+	m := rt.NewMonitor("M")
+	for i := 0; i < 3; i++ {
+		rt.Spawn(fmt.Sprintf("t%d", i), sched.NormPriority, func(tk *Task) {
+			for k := 0; k < 5; k++ {
+				tk.Synchronized(m, func() {
+					x := tk.ReadField(o, 0)
+					tk.WriteField(o, 0, x+1)
+				})
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().Dependencies != 0 {
+		t.Errorf("Dependencies = %d, want 0 for properly synchronized accesses", rt.Stats().Dependencies)
+	}
+	if rt.Stats().NonRevocableMarks != 0 {
+		t.Errorf("NonRevocableMarks = %d, want 0", rt.Stats().NonRevocableMarks)
+	}
+	if got := o.Get(0); got != 15 {
+		t.Errorf("counter = %d, want 15", got)
+	}
+}
+
+// TestFigure4Semantics runs the paper's Figure 4 program shape: T' loops
+// reading flag v under inner until T (under outer+inner) sets it. With
+// dependency tracking the first foreign read marks outer non-revocable;
+// execution must terminate with both threads completing.
+func TestFigure4Semantics(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	v := h.DefineStatic("v", false, 0)
+	outer := rt.NewMonitor("outer")
+	inner := rt.NewMonitor("inner")
+
+	rt.Spawn("T", sched.NormPriority, func(tk *Task) {
+		tk.Synchronized(outer, func() {
+			tk.Synchronized(inner, func() {
+				tk.WriteStatic(v, 1)
+			})
+			tk.Work(200)
+		})
+	})
+	rt.Spawn("T'", sched.NormPriority, func(tk *Task) {
+		for {
+			stop := false
+			tk.Synchronized(inner, func() {
+				stop = tk.ReadStatic(v) != 0
+			})
+			if stop {
+				break
+			}
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlockBrokenByRevocation builds the classic two-lock deadlock and
+// checks the runtime detects and resolves it, with both threads completing.
+func TestDeadlockBrokenByRevocation(t *testing.T) {
+	var rec trace.Recorder
+	rt := New(Config{
+		Mode:              Revocation,
+		DeadlockDetection: true,
+		TrackDependencies: true,
+		Sched:             sched.Config{Quantum: 20},
+		Tracer:            &rec,
+	})
+	l1 := rt.NewMonitor("L1")
+	l2 := rt.NewMonitor("L2")
+	done := 0
+	rt.Spawn("T1", sched.NormPriority, func(tk *Task) {
+		tk.Synchronized(l1, func() {
+			tk.Work(100)
+			tk.Synchronized(l2, func() {
+				tk.Work(10)
+			})
+		})
+		done++
+	})
+	rt.Spawn("T2", sched.NormPriority, func(tk *Task) {
+		tk.Synchronized(l2, func() {
+			tk.Work(100)
+			tk.Synchronized(l1, func() {
+				tk.Work(10)
+			})
+		})
+		done++
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	st := rt.Stats()
+	if st.DeadlocksDetected == 0 || st.DeadlocksBroken == 0 {
+		t.Fatalf("deadlock not handled: %+v", st)
+	}
+	if rec.Count(trace.DeadlockBroken) == 0 {
+		t.Error("no deadlock-broken event")
+	}
+}
+
+// TestDeadlockThreeWay: a three-thread cycle is also detected and broken.
+func TestDeadlockThreeWay(t *testing.T) {
+	rt := New(Config{
+		Mode:              Revocation,
+		DeadlockDetection: true,
+		Sched:             sched.Config{Quantum: 20},
+	})
+	l := []*monitor.Monitor{rt.NewMonitor("A"), rt.NewMonitor("B"), rt.NewMonitor("C")}
+	done := 0
+	for i := 0; i < 3; i++ {
+		mi, mj := l[i], l[(i+1)%3]
+		rt.Spawn(fmt.Sprintf("T%d", i), sched.NormPriority, func(tk *Task) {
+			tk.Synchronized(mi, func() {
+				tk.Work(100)
+				tk.Synchronized(mj, func() {})
+			})
+			done++
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if rt.Stats().DeadlocksBroken == 0 {
+		t.Fatal("no deadlock broken")
+	}
+}
+
+// TestUnmodifiedDeadlocks: the baseline VM cannot break deadlocks; the
+// scheduler reports them.
+func TestUnmodifiedDeadlocks(t *testing.T) {
+	rt := New(Config{Mode: Unmodified, Sched: sched.Config{Quantum: 20}})
+	l1 := rt.NewMonitor("L1")
+	l2 := rt.NewMonitor("L2")
+	rt.Spawn("T1", sched.NormPriority, func(tk *Task) {
+		tk.Synchronized(l1, func() {
+			tk.Work(100)
+			tk.Synchronized(l2, func() {})
+		})
+	})
+	rt.Spawn("T2", sched.NormPriority, func(tk *Task) {
+		tk.Synchronized(l2, func() {
+			tk.Work(100)
+			tk.Synchronized(l1, func() {})
+		})
+	})
+	if err := rt.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+// TestWaitNotifyAcrossModes checks producer/consumer via wait/notify works
+// on both VMs.
+func TestWaitNotifyAcrossModes(t *testing.T) {
+	for _, mode := range []Mode{Unmodified, Revocation} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := New(Config{Mode: mode, TrackDependencies: true, Sched: sched.Config{Quantum: 30}})
+			h := rt.Heap()
+			flag := h.DefineStatic("flag", false, 0)
+			m := rt.NewMonitor("M")
+			consumed := heap.Word(-1)
+			rt.Spawn("consumer", sched.NormPriority, func(tk *Task) {
+				tk.Synchronized(m, func() {
+					for tk.ReadStatic(flag) == 0 {
+						tk.Wait(m)
+					}
+					consumed = tk.ReadStatic(flag)
+				})
+			})
+			rt.Spawn("producer", sched.NormPriority, func(tk *Task) {
+				tk.Work(100)
+				tk.Synchronized(m, func() {
+					tk.WriteStatic(flag, 9)
+					tk.Notify(m)
+				})
+			})
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if consumed != 9 {
+				t.Fatalf("consumed = %d", consumed)
+			}
+		})
+	}
+}
+
+// TestWaitInNestedMonitorNonRevocable (§2.2): wait inside a nested monitor
+// forces non-revocability of the enclosing monitors, so the outer section
+// cannot be revoked afterwards.
+func TestWaitInNestedMonitorNonRevocable(t *testing.T) {
+	rt := revocationRT(nil)
+	outer := rt.NewMonitor("outer")
+	innerObj := rt.NewMonitor("inner")
+	var order []string
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(outer, func() {
+			tk.Synchronized(innerObj, func() {
+				tk.Wait(innerObj) // nested wait
+			})
+			tk.Work(400)
+			order = append(order, "Tl")
+		})
+	})
+	rt.Spawn("notifier", sched.NormPriority, func(tk *Task) {
+		tk.Work(50)
+		tk.Synchronized(innerObj, func() {
+			tk.Notify(innerObj)
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(100)
+		tk.Synchronized(outer, func() {
+			order = append(order, "Th")
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "Tl" {
+		t.Fatalf("order = %v: outer revoked despite nested wait", order)
+	}
+	if rt.Stats().RevocationsDenied == 0 {
+		t.Error("revocation should have been denied")
+	}
+}
+
+// TestWaitCommitsPrefixInTopLevelMonitor (footnote 2): in a non-nested
+// monitor, updates before wait become permanent — a later rollback must not
+// revert them.
+func TestWaitCommitsPrefixInTopLevelMonitor(t *testing.T) {
+	rt := revocationRT(nil)
+	h := rt.Heap()
+	o := h.AllocPlain("C", 2)
+	m := rt.NewMonitor("M")
+	var afterWait heap.Word = -1
+	rt.Spawn("Tl", sched.LowPriority, func(tk *Task) {
+		tk.Synchronized(m, func() {
+			tk.WriteField(o, 0, 5) // pre-wait: becomes permanent at wait
+			tk.Wait(m)
+			tk.WriteField(o, 1, 6) // post-wait: revocable
+			tk.Work(500)
+		})
+	})
+	rt.Spawn("notifier", sched.NormPriority, func(tk *Task) {
+		tk.Work(50)
+		tk.Synchronized(m, func() {
+			tk.Notify(m)
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *Task) {
+		tk.Work(200)
+		tk.Synchronized(m, func() {
+			afterWait = tk.ReadField(o, 0)
+			if tk.ReadField(o, 1) != 0 && tk.ReadField(o, 1) != 6 {
+				t.Error("post-wait write in inconsistent state")
+			}
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if afterWait != 5 {
+		t.Fatalf("pre-wait write lost: o[0] = %d, want 5", afterWait)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// This file is the execution-engine interface: the hooks the bytecode
+// interpreter (internal/interp) uses to run synchronized sections without
+// the Go-closure Synchronized wrapper. The engine manages its own control
+// transfer (the paper's injected rollback-exception scopes), while the
+// runtime keeps owning detection, logging, undo and monitor bookkeeping.
+//
+// Protocol:
+//
+//	t.EngineEnter(m)                 // monitorenter
+//	...barriered loads/stores...
+//	t.EngineExit(m)                  // monitorexit
+//
+// run inside a function guarded by recover; a delivered revocation panics
+// through the engine, which converts it with AsRevocation, calls
+// EngineUnwind to discard the doomed core frames, and transfers control
+// back to its own representation of the section entry.
+
+// RevokeInfo describes a delivered revocation as seen by an engine.
+type RevokeInfo struct {
+	// Target is the core frame depth of the section to re-execute: every
+	// frame at depth >= Target has been rolled back and its monitors
+	// released.
+	Target int
+	// Reason is "priority-inversion" or "deadlock".
+	Reason string
+}
+
+// AsRevocation converts a recovered panic value into a RevokeInfo. ok is
+// false for foreign panics, which the engine must re-raise.
+func AsRevocation(r any) (RevokeInfo, bool) {
+	if s, ok := r.(rollbackSignal); ok {
+		return RevokeInfo{Target: s.target, Reason: s.reason}, true
+	}
+	return RevokeInfo{}, false
+}
+
+// EngineEnter acquires m and pushes a section frame — the monitorenter
+// operation. It may block; it may deliver a pending revocation (panicking
+// with the value AsRevocation recognizes).
+func (t *Task) EngineEnter(m *monitor.Monitor) {
+	t.enter(m)
+}
+
+// EngineExit commits and exits the top section frame — the monitorexit
+// operation. It panics if m is not the top frame's monitor.
+func (t *Task) EngineExit(m *monitor.Monitor) {
+	t.commitTop(m)
+}
+
+// EngineFrameDepth returns the current section nesting depth; the frame a
+// subsequent EngineEnter creates will have index EngineFrameDepth().
+func (t *Task) EngineFrameDepth() int { return len(t.frames) }
+
+// MarkIrrevocable makes every enclosing synchronized section
+// non-revocable, like a native-method call would (§2.2). Engines use it
+// for code compiled without rollback scopes.
+func (t *Task) MarkIrrevocable(reason string) {
+	if len(t.frames) > 0 {
+		t.markNonRevocable(reason)
+	}
+}
+
+// EngineUnwind discards the bookkeeping of the rolled-back frames
+// [target:] after a recovered revocation (their heap effects and monitors
+// were already handled at delivery), records the re-execution, and applies
+// the deadlock backoff. It returns the retry attempt count of the target
+// section.
+func (t *Task) EngineUnwind(info RevokeInfo) int {
+	if info.Target < 0 || info.Target >= len(t.frames) {
+		panic(fmt.Sprintf("core: EngineUnwind target %d with %d frames", info.Target, len(t.frames)))
+	}
+	f := t.frames[info.Target]
+	t.frames = t.frames[:info.Target]
+	t.reexecutions++
+	t.rt.stats.Reexecutions++
+	t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.Reexecution, Thread: t.Name(), Object: f.mon.Name(),
+		Detail: fmt.Sprintf("attempt=%d engine", f.attempts+1)})
+	if info.Reason == "deadlock" {
+		backoff := t.rt.cfg.DeadlockBackoff
+		if backoff <= 0 {
+			backoff = t.rt.sch.Quantum()
+		}
+		t.Sleep(backoff * simtime.Ticks(f.attempts))
+	}
+	t.retryAttempts = f.attempts
+	return f.attempts
+}

@@ -1,0 +1,333 @@
+// Package heap models the shared-memory store the revocation machinery
+// operates on: objects with named fields, arrays, and a global static table
+// (the paper logs object stores, array stores and static stores separately,
+// §3.1.2). Slots hold 64-bit words; references are represented as object ids
+// so a snapshot of the heap is a plain value.
+//
+// The heap performs no synchronization and no logging itself: barriers are
+// the runtime's job. This mirrors the paper, where the raw heap is the Java
+// heap and the compiler injects barriers around stores.
+package heap
+
+import "fmt"
+
+// Word is the contents of one heap slot.
+type Word int64
+
+// Kind distinguishes the three logged location classes (§3.1.2).
+type Kind uint8
+
+const (
+	// KindObject is an object field (paper: putfield).
+	KindObject Kind = iota
+	// KindArray is an array element (paper: Xastore).
+	KindArray
+	// KindStatic is a static variable (paper: putstatic).
+	KindStatic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindObject:
+		return "object"
+	case KindArray:
+		return "array"
+	case KindStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Object is a heap object: a fixed set of named slots, some possibly
+// volatile. Every Object can act as a monitor in the runtime layer, exactly
+// as in Java; the monitor itself lives in internal/monitor.
+type Object struct {
+	id       uint64
+	class    string
+	fields   []Word
+	names    []string
+	volatile []bool
+}
+
+// ID returns the heap-unique object id.
+func (o *Object) ID() uint64 { return o.id }
+
+// Class returns the class name the object was allocated with.
+func (o *Object) Class() string { return o.class }
+
+// NumFields returns the object's slot count.
+func (o *Object) NumFields() int { return len(o.fields) }
+
+// FieldName returns the declared name of slot i ("fN" if unnamed).
+func (o *Object) FieldName(i int) string {
+	if i < len(o.names) && o.names[i] != "" {
+		return o.names[i]
+	}
+	return fmt.Sprintf("f%d", i)
+}
+
+// FieldIndex resolves a field name to its slot index.
+func (o *Object) FieldIndex(name string) (int, bool) {
+	for i, n := range o.names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// IsVolatile reports whether slot i was declared volatile.
+func (o *Object) IsVolatile(i int) bool {
+	return i < len(o.volatile) && o.volatile[i]
+}
+
+// Get reads slot i with no barrier.
+func (o *Object) Get(i int) Word { return o.fields[i] }
+
+// Set writes slot i with no barrier.
+func (o *Object) Set(i int, v Word) { o.fields[i] = v }
+
+// String renders the object as Class#id.
+func (o *Object) String() string { return fmt.Sprintf("%s#%d", o.class, o.id) }
+
+// Array is a heap array of words.
+type Array struct {
+	id    uint64
+	elems []Word
+}
+
+// ID returns the heap-unique array id.
+func (a *Array) ID() uint64 { return a.id }
+
+// Len returns the element count.
+func (a *Array) Len() int { return len(a.elems) }
+
+// Get reads element i with no barrier.
+func (a *Array) Get(i int) Word { return a.elems[i] }
+
+// Set writes element i with no barrier.
+func (a *Array) Set(i int, v Word) { a.elems[i] = v }
+
+// String renders the array as array#id[len].
+func (a *Array) String() string { return fmt.Sprintf("array#%d[%d]", a.id, len(a.elems)) }
+
+// FieldSpec declares one object field.
+type FieldSpec struct {
+	Name     string
+	Volatile bool
+	Init     Word
+}
+
+// Heap owns all objects, arrays and the static table.
+type Heap struct {
+	nextID      uint64
+	objects     []*Object
+	arrays      []*Array
+	statics     []Word
+	staticNames []string
+	staticVol   []bool
+}
+
+// New returns an empty heap.
+func New() *Heap {
+	return &Heap{nextID: 1}
+}
+
+// AllocObject allocates an object of the given class with the given fields.
+func (h *Heap) AllocObject(class string, fields ...FieldSpec) *Object {
+	o := &Object{
+		id:       h.nextID,
+		class:    class,
+		fields:   make([]Word, len(fields)),
+		names:    make([]string, len(fields)),
+		volatile: make([]bool, len(fields)),
+	}
+	h.nextID++
+	for i, f := range fields {
+		o.fields[i] = f.Init
+		o.names[i] = f.Name
+		o.volatile[i] = f.Volatile
+	}
+	h.objects = append(h.objects, o)
+	return o
+}
+
+// AllocPlain allocates an object with n unnamed, non-volatile, zeroed slots.
+func (h *Heap) AllocPlain(class string, n int) *Object {
+	o := &Object{
+		id:       h.nextID,
+		class:    class,
+		fields:   make([]Word, n),
+		names:    make([]string, n),
+		volatile: make([]bool, n),
+	}
+	h.nextID++
+	h.objects = append(h.objects, o)
+	return o
+}
+
+// AllocArray allocates a zeroed array of n elements.
+func (h *Heap) AllocArray(n int) *Array {
+	a := &Array{id: h.nextID, elems: make([]Word, n)}
+	h.nextID++
+	h.arrays = append(h.arrays, a)
+	return a
+}
+
+// DefineStatic adds a named static variable and returns its offset in the
+// global symbol table (the paper logs static stores by this offset).
+func (h *Heap) DefineStatic(name string, volatile bool, init Word) int {
+	h.statics = append(h.statics, init)
+	h.staticNames = append(h.staticNames, name)
+	h.staticVol = append(h.staticVol, volatile)
+	return len(h.statics) - 1
+}
+
+// StaticIndex resolves a static name to its offset.
+func (h *Heap) StaticIndex(name string) (int, bool) {
+	for i, n := range h.staticNames {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// StaticName returns the declared name of static offset i.
+func (h *Heap) StaticName(i int) string { return h.staticNames[i] }
+
+// NumStatics returns the static table size.
+func (h *Heap) NumStatics() int { return len(h.statics) }
+
+// IsStaticVolatile reports whether static offset i is volatile.
+func (h *Heap) IsStaticVolatile(i int) bool { return h.staticVol[i] }
+
+// GetStatic reads a static slot with no barrier.
+func (h *Heap) GetStatic(i int) Word { return h.statics[i] }
+
+// SetStatic writes a static slot with no barrier.
+func (h *Heap) SetStatic(i int, v Word) { h.statics[i] = v }
+
+// Objects returns all allocated objects in allocation order (shared slice).
+func (h *Heap) Objects() []*Object { return h.objects }
+
+// Arrays returns all allocated arrays in allocation order (shared slice).
+func (h *Heap) Arrays() []*Array { return h.arrays }
+
+// Object resolves an object id (nil if unknown). Ids are assigned from a
+// single counter shared with arrays, so not every id in range is an object.
+func (h *Heap) Object(id uint64) *Object {
+	for _, o := range h.objects {
+		if o.id == id {
+			return o
+		}
+	}
+	return nil
+}
+
+// Array resolves an array id (nil if unknown).
+func (h *Heap) Array(id uint64) *Array {
+	for _, a := range h.arrays {
+		if a.id == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the entire mutable state of the heap as a value, for
+// tests that assert rollback restored everything.
+type Snapshot struct {
+	Objects map[uint64][]Word
+	Arrays  map[uint64][]Word
+	Statics []Word
+}
+
+// Snapshot returns a deep copy of all slot contents.
+func (h *Heap) Snapshot() Snapshot {
+	s := Snapshot{
+		Objects: make(map[uint64][]Word, len(h.objects)),
+		Arrays:  make(map[uint64][]Word, len(h.arrays)),
+		Statics: append([]Word(nil), h.statics...),
+	}
+	for _, o := range h.objects {
+		s.Objects[o.id] = append([]Word(nil), o.fields...)
+	}
+	for _, a := range h.arrays {
+		s.Arrays[a.id] = append([]Word(nil), a.elems...)
+	}
+	return s
+}
+
+// Equal reports whether two snapshots describe identical heap contents.
+func (s Snapshot) Equal(other Snapshot) bool {
+	if len(s.Objects) != len(other.Objects) || len(s.Arrays) != len(other.Arrays) || len(s.Statics) != len(other.Statics) {
+		return false
+	}
+	for i, v := range s.Statics {
+		if other.Statics[i] != v {
+			return false
+		}
+	}
+	for id, fs := range s.Objects {
+		ofs, ok := other.Objects[id]
+		if !ok || len(ofs) != len(fs) {
+			return false
+		}
+		for i, v := range fs {
+			if ofs[i] != v {
+				return false
+			}
+		}
+	}
+	for id, es := range s.Arrays {
+		oes, ok := other.Arrays[id]
+		if !ok || len(oes) != len(es) {
+			return false
+		}
+		for i, v := range es {
+			if oes[i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first few differences
+// between two snapshots (empty when equal). Intended for test failures.
+func (s Snapshot) Diff(other Snapshot) string {
+	const max = 8
+	var out []string
+	add := func(f string, args ...any) {
+		if len(out) < max {
+			out = append(out, fmt.Sprintf(f, args...))
+		}
+	}
+	for i, v := range s.Statics {
+		if i < len(other.Statics) && other.Statics[i] != v {
+			add("static[%d]: %d != %d", i, v, other.Statics[i])
+		}
+	}
+	for id, fs := range s.Objects {
+		ofs := other.Objects[id]
+		for i, v := range fs {
+			if i < len(ofs) && ofs[i] != v {
+				add("object#%d.f%d: %d != %d", id, i, v, ofs[i])
+			}
+		}
+	}
+	for id, es := range s.Arrays {
+		oes := other.Arrays[id]
+		for i, v := range es {
+			if i < len(oes) && oes[i] != v {
+				add("array#%d[%d]: %d != %d", id, i, v, oes[i])
+			}
+		}
+	}
+	if len(out) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d+ differences: %v", len(out), out)
+}

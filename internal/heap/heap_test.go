@@ -1,0 +1,217 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocObjectFields(t *testing.T) {
+	h := New()
+	o := h.AllocObject("Point", FieldSpec{Name: "x", Init: 3}, FieldSpec{Name: "y", Init: 4})
+	if o.NumFields() != 2 {
+		t.Fatalf("NumFields = %d, want 2", o.NumFields())
+	}
+	if o.Get(0) != 3 || o.Get(1) != 4 {
+		t.Fatalf("initial values %d,%d; want 3,4", o.Get(0), o.Get(1))
+	}
+	if o.Class() != "Point" {
+		t.Fatalf("Class = %q", o.Class())
+	}
+}
+
+func TestFieldIndexLookup(t *testing.T) {
+	h := New()
+	o := h.AllocObject("C", FieldSpec{Name: "a"}, FieldSpec{Name: "b"})
+	i, ok := o.FieldIndex("b")
+	if !ok || i != 1 {
+		t.Fatalf("FieldIndex(b) = %d,%v; want 1,true", i, ok)
+	}
+	if _, ok := o.FieldIndex("missing"); ok {
+		t.Fatal("FieldIndex found a missing field")
+	}
+}
+
+func TestFieldNames(t *testing.T) {
+	h := New()
+	o := h.AllocObject("C", FieldSpec{Name: "named"}, FieldSpec{})
+	if o.FieldName(0) != "named" {
+		t.Fatalf("FieldName(0) = %q", o.FieldName(0))
+	}
+	if o.FieldName(1) != "f1" {
+		t.Fatalf("FieldName(1) = %q, want f1", o.FieldName(1))
+	}
+}
+
+func TestVolatileFlag(t *testing.T) {
+	h := New()
+	o := h.AllocObject("C", FieldSpec{Name: "v", Volatile: true}, FieldSpec{Name: "p"})
+	if !o.IsVolatile(0) || o.IsVolatile(1) {
+		t.Fatal("volatile flags wrong")
+	}
+}
+
+func TestObjectSetGet(t *testing.T) {
+	h := New()
+	o := h.AllocPlain("C", 3)
+	o.Set(2, 99)
+	if o.Get(2) != 99 {
+		t.Fatalf("Get(2) = %d", o.Get(2))
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	h := New()
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		var id uint64
+		if i%2 == 0 {
+			id = h.AllocPlain("C", 1).ID()
+		} else {
+			id = h.AllocArray(1).ID()
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestArray(t *testing.T) {
+	h := New()
+	a := h.AllocArray(5)
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	a.Set(4, -7)
+	if a.Get(4) != -7 {
+		t.Fatalf("Get(4) = %d", a.Get(4))
+	}
+	if !strings.Contains(a.String(), "[5]") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestStatics(t *testing.T) {
+	h := New()
+	i := h.DefineStatic("flag", true, 1)
+	j := h.DefineStatic("count", false, 0)
+	if i == j {
+		t.Fatal("duplicate static offsets")
+	}
+	if h.NumStatics() != 2 {
+		t.Fatalf("NumStatics = %d", h.NumStatics())
+	}
+	if !h.IsStaticVolatile(i) || h.IsStaticVolatile(j) {
+		t.Fatal("volatile flags wrong")
+	}
+	if h.GetStatic(i) != 1 {
+		t.Fatalf("GetStatic = %d", h.GetStatic(i))
+	}
+	h.SetStatic(j, 42)
+	if h.GetStatic(j) != 42 {
+		t.Fatalf("GetStatic = %d", h.GetStatic(j))
+	}
+	k, ok := h.StaticIndex("count")
+	if !ok || k != j {
+		t.Fatalf("StaticIndex = %d,%v", k, ok)
+	}
+	if h.StaticName(i) != "flag" {
+		t.Fatalf("StaticName = %q", h.StaticName(i))
+	}
+	if _, ok := h.StaticIndex("nope"); ok {
+		t.Fatal("found missing static")
+	}
+}
+
+func TestObjectArrayLookup(t *testing.T) {
+	h := New()
+	o := h.AllocPlain("C", 1)
+	a := h.AllocArray(1)
+	if h.Object(o.ID()) != o {
+		t.Fatal("Object lookup failed")
+	}
+	if h.Array(a.ID()) != a {
+		t.Fatal("Array lookup failed")
+	}
+	if h.Object(a.ID()) != nil {
+		t.Fatal("Object lookup returned array id")
+	}
+	if h.Array(9999) != nil {
+		t.Fatal("Array lookup invented an array")
+	}
+	if len(h.Objects()) != 1 || len(h.Arrays()) != 1 {
+		t.Fatal("Objects/Arrays lengths wrong")
+	}
+}
+
+func TestSnapshotEqualAndDiff(t *testing.T) {
+	h := New()
+	o := h.AllocPlain("C", 2)
+	a := h.AllocArray(2)
+	h.DefineStatic("s", false, 0)
+	s1 := h.Snapshot()
+	s2 := h.Snapshot()
+	if !s1.Equal(s2) {
+		t.Fatal("identical snapshots not equal")
+	}
+	if d := s1.Diff(s2); d != "" {
+		t.Fatalf("Diff of equal snapshots: %s", d)
+	}
+	o.Set(1, 5)
+	s3 := h.Snapshot()
+	if s1.Equal(s3) {
+		t.Fatal("snapshots equal after object mutation")
+	}
+	if s1.Diff(s3) == "" {
+		t.Fatal("Diff empty after object mutation")
+	}
+	o.Set(1, 0)
+	a.Set(0, 9)
+	if s1.Equal(h.Snapshot()) {
+		t.Fatal("snapshots equal after array mutation")
+	}
+	a.Set(0, 0)
+	h.SetStatic(0, 1)
+	if s1.Equal(h.Snapshot()) {
+		t.Fatal("snapshots equal after static mutation")
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	h := New()
+	o := h.AllocPlain("C", 1)
+	s := h.Snapshot()
+	o.Set(0, 123)
+	if s.Objects[o.ID()][0] != 0 {
+		t.Fatal("snapshot aliases live heap")
+	}
+}
+
+// Property: a snapshot taken after arbitrary mutations equals a snapshot
+// taken immediately again, and differs from the pre-mutation snapshot
+// whenever at least one value actually changed.
+func TestSnapshotProperty(t *testing.T) {
+	prop := func(vals []int64) bool {
+		h := New()
+		o := h.AllocPlain("C", 4)
+		before := h.Snapshot()
+		for i, v := range vals {
+			o.Set(i%4, Word(v))
+		}
+		changed := false
+		for i := 0; i < 4; i++ {
+			if o.Get(i) != 0 {
+				changed = true
+			}
+		}
+		after := h.Snapshot()
+		if !after.Equal(h.Snapshot()) {
+			return false
+		}
+		return before.Equal(after) == !changed
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,387 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/rewrite"
+	"repro/internal/sched"
+)
+
+// These tests port the paper's JMM-consistency scenarios (§2.2, Figures
+// 2-4) to the bytecode engine: the dependency tracking and non-revocability
+// marking must work identically when sections run through the interpreter.
+
+// TestBytecodeFigure2NestedDependency: T writes v under outer+inner and
+// releases inner; T' reads v under inner; revoking outer must be denied.
+func TestBytecodeFigure2NestedDependency(t *testing.T) {
+	src := `
+static outerRef = 0
+static innerRef = 0
+static v = 0
+static tPrimeSaw = 0
+static tRan = 0
+class Lock {
+    unused
+}
+thread init priority 9 run setup
+thread T priority 2 run tMain
+thread Tprime priority 5 run tPrimeMain
+thread Th priority 8 run thMain
+
+method setup locals 1 {
+    newobj Lock
+    store 0
+    load 0
+    putstatic outerRef
+    newobj Lock
+    store 0
+    load 0
+    putstatic innerRef
+    return
+}
+
+method tMain locals 2 {
+  spin:
+    getstatic innerRef
+    ifz spin
+    getstatic outerRef
+    store 0
+    getstatic innerRef
+    store 1
+    sync 0 {
+        sync 1 {
+            const 42
+            putstatic v
+        }
+        const 4000
+        work
+        const 1
+        putstatic tRan
+    }
+    return
+}
+
+method tPrimeMain locals 1 {
+    const 300
+    sleep
+    getstatic innerRef
+    store 0
+    sync 0 {
+        getstatic v
+        putstatic tPrimeSaw
+    }
+    return
+}
+
+method thMain locals 1 {
+    const 900
+    sleep
+    getstatic outerRef
+    store 0
+    sync 0 {
+        nop
+    }
+    return
+}
+`
+	prog, err := rewrite.Rewrite(bytecode.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(core.Config{
+		Mode:              core.Revocation,
+		TrackDependencies: true,
+		Sched:             sched.Config{Quantum: 200},
+	})
+	env, err := Run(rt, prog, Options{Rewritten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) heap.Word {
+		idx, _ := prog.StaticIndex(name)
+		return env.RT.Heap().GetStatic(idx)
+	}
+	if get("tPrimeSaw") != 42 {
+		t.Fatalf("T' saw %d, want 42 (the allowed speculative read)", get("tPrimeSaw"))
+	}
+	st := rt.Stats()
+	if st.Dependencies == 0 {
+		t.Fatal("dependency not detected through the interpreter")
+	}
+	if st.Rollbacks != 0 {
+		t.Fatal("outer was revoked despite the observed dependency")
+	}
+	if st.RevocationsDenied == 0 {
+		t.Fatal("revocation not denied")
+	}
+}
+
+// TestBytecodeFigure3Volatile: an unmonitored volatile read of a
+// speculative volatile write forces non-revocability.
+func TestBytecodeFigure3Volatile(t *testing.T) {
+	src := `
+static lockRef = 0
+static vol volatile = 0
+class Lock {
+    unused
+}
+thread init priority 9 run setup
+thread T priority 2 run tMain
+thread Tprime priority 5 run tPrimeMain
+thread Th priority 8 run thMain
+
+method setup locals 1 {
+    newobj Lock
+    store 0
+    load 0
+    putstatic lockRef
+    return
+}
+method tMain locals 1 {
+  spin:
+    getstatic lockRef
+    ifz spin
+    getstatic lockRef
+    store 0
+    sync 0 {
+        const 1
+        putstatic vol
+        const 4000
+        work
+    }
+    return
+}
+method tPrimeMain locals 0 {
+    const 300
+    sleep
+    getstatic vol     # no monitor at all
+    pop
+    return
+}
+method thMain locals 1 {
+    const 900
+    sleep
+    getstatic lockRef
+    store 0
+    sync 0 {
+        nop
+    }
+    return
+}
+`
+	prog, err := rewrite.Rewrite(bytecode.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(core.Config{
+		Mode:              core.Revocation,
+		TrackDependencies: true,
+		Sched:             sched.Config{Quantum: 200},
+	})
+	if _, err := Run(rt, prog, Options{Rewritten: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Rollbacks != 0 || st.RevocationsDenied == 0 {
+		t.Fatalf("volatile dependency not enforced: %+v", st)
+	}
+}
+
+// TestBytecodeFigure4 runs the paper's Figure 4 program shape: T' loops
+// on a flag under inner until T (under outer+inner) sets it; execution
+// must terminate.
+func TestBytecodeFigure4(t *testing.T) {
+	src := `
+static outerRef = 0
+static innerRef = 0
+static v = 0
+class Lock {
+    unused
+}
+thread init priority 9 run setup
+thread T priority 5 run tMain
+thread Tprime priority 5 run tPrimeMain
+
+method setup locals 1 {
+    newobj Lock
+    store 0
+    load 0
+    putstatic outerRef
+    newobj Lock
+    store 0
+    load 0
+    putstatic innerRef
+    return
+}
+method tMain locals 2 {
+  spin:
+    getstatic innerRef
+    ifz spin
+    getstatic outerRef
+    store 0
+    getstatic innerRef
+    store 1
+    sync 0 {
+        sync 1 {
+            const 1
+            putstatic v
+        }
+        const 500
+        work
+    }
+    return
+}
+method tPrimeMain locals 1 {
+  spin:
+    getstatic innerRef
+    ifz spin
+    getstatic innerRef
+    store 0
+  loop:
+    sync 0 {
+        getstatic v
+        ifnz break_ok
+    }
+    goto loop
+  break_ok:
+    getstatic innerRef
+    store 0
+    load 0
+    monitorexit
+    return
+}
+`
+	// Note the manual monitorexit on the break path: `ifnz` jumping out
+	// of a sync block leaves the monitor held, exactly like raw JVM
+	// bytecode with a branch out of a synchronized region.
+	prog, err := rewrite.Rewrite(bytecode.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(core.Config{
+		Mode:              core.Revocation,
+		TrackDependencies: true,
+		Sched:             sched.Config{Quantum: 200},
+	})
+	if _, err := Run(rt, prog, Options{Rewritten: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBytecodeReentrantMonitor: reentrant sync blocks on the same object.
+func TestBytecodeReentrantMonitor(t *testing.T) {
+	ret, _ := callMainRewritten(t, `
+static data = 0
+class Lock {
+    unused
+}
+method main locals 1 returns {
+    newobj Lock
+    store 0
+    sync 0 {
+        sync 0 {
+            const 5
+            putstatic data
+        }
+        getstatic data
+        const 2
+        mul
+        putstatic data
+    }
+    getstatic data
+    ireturn
+}
+`)
+	if ret != 10 {
+		t.Fatalf("ret = %d, want 10", ret)
+	}
+}
+
+// TestBytecodeWaitNestedNonRevocable: wait inside a nested sync block
+// forces the enclosing monitors non-revocable through the interpreter.
+func TestBytecodeWaitNestedNonRevocable(t *testing.T) {
+	src := `
+static outerRef = 0
+static innerRef = 0
+class Lock {
+    unused
+}
+thread init priority 9 run setup
+thread low priority 2 run lowMain
+thread notifier priority 5 run notifierMain
+thread high priority 8 run highMain
+
+method setup locals 1 {
+    newobj Lock
+    store 0
+    load 0
+    putstatic outerRef
+    newobj Lock
+    store 0
+    load 0
+    putstatic innerRef
+    return
+}
+method lowMain locals 2 {
+  spin:
+    getstatic innerRef
+    ifz spin
+    getstatic outerRef
+    store 0
+    getstatic innerRef
+    store 1
+    sync 0 {
+        sync 1 {
+            load 1
+            wait
+        }
+        const 2000
+        work
+    }
+    return
+}
+method notifierMain locals 1 {
+    const 400
+    sleep
+    getstatic innerRef
+    store 0
+    sync 0 {
+        load 0
+        notify
+    }
+    return
+}
+method highMain locals 1 {
+    const 800
+    sleep
+    getstatic outerRef
+    store 0
+    sync 0 {
+        nop
+    }
+    return
+}
+`
+	prog, err := rewrite.Rewrite(bytecode.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(core.Config{
+		Mode:              core.Revocation,
+		TrackDependencies: true,
+		Sched:             sched.Config{Quantum: 150},
+	})
+	if _, err := Run(rt, prog, Options{Rewritten: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Rollbacks != 0 {
+		t.Fatal("section containing a nested wait was revoked")
+	}
+	if st.RevocationsDenied == 0 {
+		t.Fatal("revocation should have been requested and denied")
+	}
+}

@@ -1,0 +1,126 @@
+// Package jmm implements the Java-memory-model bookkeeping of §2.2: it
+// tracks which heap locations currently hold *speculative* values (written
+// by a synchronized section that is still active and could yet be revoked)
+// and detects the read-write dependencies whose creation must force the
+// guarding monitors non-revocable.
+//
+// The rule reproduced here: a monitor M must become non-revocable when a
+// read-write dependency is created between a write performed within M and a
+// read performed by another thread. Rolling M back after such a read would
+// make the value the reader saw appear "out of thin air", violating
+// JMM-consistency (paper Figures 2 and 3). Volatile locations follow the
+// same rule; their reads establish happens-before edges even without any
+// monitor (Figure 3).
+//
+// The structure is a single table mapping location → owning thread span. A
+// fast path avoids the table entirely when no thread other than the reader
+// has speculative writes outstanding, which is the common case the paper's
+// benchmark exercises (all accesses guarded by the same monitor).
+package jmm
+
+import "repro/internal/undo"
+
+// SpanRef identifies one activation of a thread's outermost synchronized
+// section. Gen increments every time the thread enters an outermost
+// section, so stale table entries can never be confused with a newer span.
+type SpanRef struct {
+	Thread int
+	Gen    uint64
+}
+
+// Table tracks speculative writes across all threads. It is not safe for
+// concurrent use; the uniprocessor scheduler serializes access.
+type Table struct {
+	writes map[undo.Loc]SpanRef
+
+	// perThread counts live table entries per thread id, so Foreign can
+	// answer "does anyone but me have speculative writes?" in O(1).
+	perThread map[int]int
+	total     int
+
+	// deps counts dependencies detected (reads of foreign speculative
+	// locations); reported in runtime statistics.
+	deps int64
+}
+
+// NewTable returns an empty speculation table.
+func NewTable() *Table {
+	return &Table{
+		writes:    make(map[undo.Loc]SpanRef),
+		perThread: make(map[int]int),
+	}
+}
+
+// RegisterWrite records that loc now holds a speculative value owned by
+// ref. A location already owned by the same thread is re-stamped with the
+// newer generation; a location owned by a different thread is taken over
+// (the previous owner's section must already have committed or the program
+// has a racy double-write, which the conservative takeover handles safely).
+func (t *Table) RegisterWrite(loc undo.Loc, ref SpanRef) {
+	if prev, ok := t.writes[loc]; ok {
+		if prev.Thread == ref.Thread {
+			t.writes[loc] = ref
+			return
+		}
+		t.perThread[prev.Thread]--
+		t.total--
+	}
+	t.writes[loc] = ref
+	t.perThread[ref.Thread]++
+	t.total++
+}
+
+// Unregister removes loc from the table if it is still owned by the given
+// thread. Called for every log entry when a section commits or rolls back.
+func (t *Table) Unregister(loc undo.Loc, thread int) {
+	if prev, ok := t.writes[loc]; ok && prev.Thread == thread {
+		delete(t.writes, loc)
+		t.perThread[thread]--
+		t.total--
+	}
+}
+
+// HasForeign reports whether any thread other than reader has speculative
+// writes outstanding. When false, no read by reader can create a dependency
+// and the table lookup can be skipped entirely.
+func (t *Table) HasForeign(reader int) bool {
+	if t.total == 0 {
+		return false
+	}
+	return t.total > t.perThread[reader]
+}
+
+// CheckRead reports the owning span if loc holds a speculative value
+// written by a thread other than reader. A hit means a read-write
+// dependency has just been created and the owner's active monitors must be
+// marked non-revocable.
+func (t *Table) CheckRead(loc undo.Loc, reader int) (SpanRef, bool) {
+	ref, ok := t.writes[loc]
+	if !ok || ref.Thread == reader {
+		return SpanRef{}, false
+	}
+	t.deps++
+	return ref, true
+}
+
+// Entries returns the number of live speculative locations.
+func (t *Table) Entries() int { return t.total }
+
+// Dependencies returns the lifetime count of detected read-write
+// dependencies.
+func (t *Table) Dependencies() int64 { return t.deps }
+
+// DropThread removes every entry owned by the given thread, regardless of
+// generation. Used when a thread terminates with sections force-committed.
+func (t *Table) DropThread(thread int) {
+	if t.perThread[thread] == 0 {
+		return
+	}
+	for loc, ref := range t.writes {
+		if ref.Thread == thread {
+			delete(t.writes, loc)
+			t.total--
+		}
+	}
+	t.perThread[thread] = 0
+}

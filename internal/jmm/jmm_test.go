@@ -1,0 +1,170 @@
+package jmm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/undo"
+)
+
+func loc(i int) undo.Loc {
+	return undo.Loc{Kind: heap.KindObject, ID: 1, Idx: i}
+}
+
+func TestRegisterAndCheckForeignRead(t *testing.T) {
+	tb := NewTable()
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 7})
+	ref, hit := tb.CheckRead(loc(0), 2)
+	if !hit {
+		t.Fatal("foreign read not detected")
+	}
+	if ref.Thread != 1 || ref.Gen != 7 {
+		t.Fatalf("ref = %+v", ref)
+	}
+	if tb.Dependencies() != 1 {
+		t.Fatalf("Dependencies = %d", tb.Dependencies())
+	}
+}
+
+func TestOwnReadIsNotADependency(t *testing.T) {
+	tb := NewTable()
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
+	if _, hit := tb.CheckRead(loc(0), 1); hit {
+		t.Fatal("own read flagged as dependency")
+	}
+	if tb.Dependencies() != 0 {
+		t.Fatal("dependency counted for own read")
+	}
+}
+
+func TestUnknownLocationMisses(t *testing.T) {
+	tb := NewTable()
+	if _, hit := tb.CheckRead(loc(9), 2); hit {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestHasForeignFastPath(t *testing.T) {
+	tb := NewTable()
+	if tb.HasForeign(1) {
+		t.Fatal("empty table has foreign entries")
+	}
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
+	if tb.HasForeign(1) {
+		t.Fatal("own entries counted as foreign")
+	}
+	if !tb.HasForeign(2) {
+		t.Fatal("foreign entry not visible")
+	}
+	tb.RegisterWrite(loc(1), SpanRef{Thread: 2, Gen: 1})
+	if !tb.HasForeign(1) {
+		t.Fatal("thread 2's entry not foreign to thread 1")
+	}
+}
+
+func TestUnregisterOnlyOwn(t *testing.T) {
+	tb := NewTable()
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
+	tb.Unregister(loc(0), 2) // wrong thread: must not remove
+	if _, hit := tb.CheckRead(loc(0), 2); !hit {
+		t.Fatal("entry vanished after foreign unregister")
+	}
+	tb.Unregister(loc(0), 1)
+	if _, hit := tb.CheckRead(loc(0), 2); hit {
+		t.Fatal("entry survived owner unregister")
+	}
+	if tb.Entries() != 0 {
+		t.Fatalf("Entries = %d", tb.Entries())
+	}
+}
+
+func TestReRegisterSameThreadUpdatesGen(t *testing.T) {
+	tb := NewTable()
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 2})
+	ref, _ := tb.CheckRead(loc(0), 2)
+	if ref.Gen != 2 {
+		t.Fatalf("Gen = %d, want 2", ref.Gen)
+	}
+	if tb.Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1", tb.Entries())
+	}
+}
+
+func TestTakeoverByOtherThread(t *testing.T) {
+	tb := NewTable()
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 2, Gen: 5})
+	if tb.Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1", tb.Entries())
+	}
+	ref, hit := tb.CheckRead(loc(0), 1)
+	if !hit || ref.Thread != 2 {
+		t.Fatalf("CheckRead = %+v,%v", ref, hit)
+	}
+	// Thread 1's per-thread count must have been decremented: with only
+	// thread 2 owning entries, thread 2 sees no foreign writes.
+	if tb.HasForeign(2) {
+		t.Fatal("HasForeign(2) true after takeover")
+	}
+}
+
+func TestDropThread(t *testing.T) {
+	tb := NewTable()
+	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
+	tb.RegisterWrite(loc(1), SpanRef{Thread: 1, Gen: 1})
+	tb.RegisterWrite(loc(2), SpanRef{Thread: 2, Gen: 1})
+	tb.DropThread(1)
+	if tb.Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1", tb.Entries())
+	}
+	if _, hit := tb.CheckRead(loc(0), 3); hit {
+		t.Fatal("dropped entry still present")
+	}
+	if _, hit := tb.CheckRead(loc(2), 3); !hit {
+		t.Fatal("unrelated entry dropped")
+	}
+	tb.DropThread(1) // idempotent
+}
+
+// Property: total always equals the number of live map entries, and
+// per-thread counts always sum to total, across arbitrary operation
+// sequences.
+func TestCountInvariantProperty(t *testing.T) {
+	type op struct {
+		Kind   uint8
+		Loc    uint8
+		Thread uint8
+	}
+	prop := func(ops []op) bool {
+		tb := NewTable()
+		for _, o := range ops {
+			l := loc(int(o.Loc % 8))
+			th := int(o.Thread % 4)
+			switch o.Kind % 3 {
+			case 0:
+				tb.RegisterWrite(l, SpanRef{Thread: th, Gen: 1})
+			case 1:
+				tb.Unregister(l, th)
+			case 2:
+				tb.DropThread(th)
+			}
+			sum := 0
+			for th2 := 0; th2 < 4; th2++ {
+				c := tb.perThread[th2]
+				if c < 0 {
+					return false
+				}
+				sum += c
+			}
+			if sum != tb.total || tb.total != len(tb.writes) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,453 @@
+// Package monitor implements Java-style monitors over the green-thread
+// scheduler: reentrant mutual-exclusion with prioritized entry queues, wait
+// sets with notify/notifyAll, the priority deposit the paper's detection
+// algorithm reads (§4: "A thread acquiring a monitor deposits its priority
+// in the header of the monitor object"), and the per-ownership-span
+// revocability state of §2.2.
+//
+// The entry queue implements the paper's prioritized admission rule: "When
+// a thread releases a monitor, another thread is scheduled from the queue.
+// If it is a high-priority thread, it is allowed to acquire the monitor. If
+// it is a low-priority thread, it is allowed to run only if there are no
+// other waiting high-priority threads." Generalized to the full priority
+// range: highest priority first, FIFO within a level.
+//
+// Policy — who blocks, who revokes, whether priorities are inherited —
+// lives above this package (internal/core for the paper's scheme,
+// internal/baseline for the comparison protocols).
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+// Monitor is one lock. In Java every object can act as a monitor; the
+// runtime layer associates Monitors with heap objects on demand.
+type Monitor struct {
+	name string
+	sch  *sched.Scheduler
+
+	owner      *sched.Thread
+	entryCount int
+	// ownerPrio is the priority deposited by the owner at acquisition; the
+	// inversion detector compares against it rather than chasing the
+	// thread's current priority, exactly as the paper describes.
+	ownerPrio  sched.Priority
+	acquiredAt simtime.Ticks
+	// gen increments at every ownership transfer, so a revocation request
+	// can verify the span it targeted is still current.
+	gen uint64
+
+	entryQ waitQueue
+	waitQ  waitQueue // threads in Object.wait
+
+	// Revocability of the current ownership span.
+	nonRevocable bool
+	nonRevReason string
+
+	// Ceiling is the priority ceiling for the ceiling-protocol baseline;
+	// zero means unset.
+	Ceiling sched.Priority
+
+	// FIFOQueue disables the paper's prioritized admission for this
+	// monitor: waiters are served strictly in arrival order regardless of
+	// priority. Used by the queue-discipline ablation.
+	FIFOQueue bool
+
+	// Lifetime statistics.
+	acquisitions int64
+	contended    int64
+}
+
+// New creates a named monitor bound to a scheduler.
+func New(sch *sched.Scheduler, name string) *Monitor {
+	return &Monitor{name: name, sch: sch}
+}
+
+// Name returns the monitor's display name.
+func (m *Monitor) Name() string { return m.name }
+
+// Owner returns the owning thread, or nil when free.
+func (m *Monitor) Owner() *sched.Thread { return m.owner }
+
+// EntryCount returns the owner's reentrancy depth (0 when free).
+func (m *Monitor) EntryCount() int { return m.entryCount }
+
+// OwnerPriority returns the priority deposited at acquisition.
+func (m *Monitor) OwnerPriority() sched.Priority { return m.ownerPrio }
+
+// AcquiredAt returns the virtual time of the current span's acquisition.
+func (m *Monitor) AcquiredAt() simtime.Ticks { return m.acquiredAt }
+
+// Gen returns the current ownership-span generation.
+func (m *Monitor) Gen() uint64 { return m.gen }
+
+// Acquisitions returns the lifetime number of ownership transfers.
+func (m *Monitor) Acquisitions() int64 { return m.acquisitions }
+
+// Contended returns how many Enter attempts found the monitor held.
+func (m *Monitor) Contended() int64 { return m.contended }
+
+// HeldBy reports whether t currently owns the monitor.
+func (m *Monitor) HeldBy(t *sched.Thread) bool { return m.owner == t }
+
+// String renders the monitor state for diagnostics.
+func (m *Monitor) String() string {
+	if m.owner == nil {
+		return fmt.Sprintf("monitor(%s, free)", m.name)
+	}
+	return fmt.Sprintf("monitor(%s, owner=%s depth=%d prio=%d)", m.name, m.owner.Name(), m.entryCount, m.ownerPrio)
+}
+
+// ---------------------------------------------------------------------------
+// Revocability state (per ownership span).
+
+// MarkNonRevocable makes the current span non-revocable for the given
+// reason (native call, nested wait, read-write dependency). It is sticky
+// until the span ends.
+func (m *Monitor) MarkNonRevocable(reason string) {
+	if !m.nonRevocable {
+		m.nonRevocable = true
+		m.nonRevReason = reason
+	}
+}
+
+// NonRevocable reports whether the current span may not be rolled back.
+func (m *Monitor) NonRevocable() (bool, string) { return m.nonRevocable, m.nonRevReason }
+
+// ---------------------------------------------------------------------------
+// Acquisition protocol. The runtime layer drives it:
+//
+//	for {
+//		if m.TryEnter(t) { break }
+//		// inspect owner, maybe request revocation ...
+//		kind := m.BlockOn(t)
+//		if kind == sched.WakeGranted { break } // ownership was handed over
+//		// WakeInterrupt: the blocked thread itself is being revoked
+//	}
+
+// TryEnter acquires the monitor if it is free or already owned by t
+// (reentrant). It returns false when another thread owns it.
+//
+// A free monitor is taken unconditionally, even with waiters queued: the
+// fast path is a header compare-and-swap (Jikes RVM thin locks) that never
+// consults the queue, so running threads barge past woken-but-undispatched
+// waiters. The paper's prioritized queues act at *wake selection* — on
+// release the best-priority waiter is woken first ("If it is a low-priority
+// thread, it is allowed to run only if there are no other waiting
+// high-priority threads", §4).
+func (m *Monitor) TryEnter(t *sched.Thread) bool {
+	switch m.owner {
+	case nil:
+		m.takeOwnership(t)
+		return true
+	case t:
+		m.entryCount++
+		return true
+	default:
+		return false
+	}
+}
+
+// takeOwnership installs t as owner, depositing its priority.
+func (m *Monitor) takeOwnership(t *sched.Thread) {
+	m.owner = t
+	m.entryCount = 1
+	m.ownerPrio = t.Priority()
+	m.acquiredAt = m.sch.Now()
+	m.gen++
+	m.nonRevocable = false
+	m.nonRevReason = ""
+	m.acquisitions++
+}
+
+// queuePop dequeues per the monitor's discipline: best priority (FIFO
+// within a level), or pure FIFO when FIFOQueue is set.
+func (m *Monitor) queuePop() *sched.Thread {
+	if m.FIFOQueue {
+		return m.entryQ.popOldest()
+	}
+	return m.entryQ.pop()
+}
+
+// BlockOn parks t on the prioritized entry queue until the monitor is
+// handed to it (WakeGranted) or it is interrupted (WakeInterrupt, used when
+// t itself becomes a revocation or deadlock victim while blocked). On
+// WakeGranted the caller owns the monitor upon return. On WakeInterrupt the
+// caller was removed from the queue and owns nothing.
+func (m *Monitor) BlockOn(t *sched.Thread) sched.WakeKind {
+	m.contended++
+	m.entryQ.push(t)
+	kind := t.Block("monitor " + m.name)
+	if kind == sched.WakeInterrupt {
+		m.entryQ.remove(t)
+	}
+	return kind
+}
+
+// EntryQueueLen returns the number of threads blocked on entry.
+func (m *Monitor) EntryQueueLen() int { return m.entryQ.len() }
+
+// Waiters returns the threads blocked on entry, highest priority first.
+func (m *Monitor) Waiters() []*sched.Thread { return m.entryQ.inOrder() }
+
+// HighestWaiter returns the best-priority entry-queue thread, or nil.
+func (m *Monitor) HighestWaiter() *sched.Thread { return m.entryQ.peek() }
+
+// Exit releases one level of reentrancy. When the outermost level is
+// released, ownership is handed directly to the best-priority waiter and
+// that thread is scheduled — §4's prioritized monitor queues: "When a
+// thread releases a monitor, another thread is scheduled from the queue.
+// If it is a high-priority thread, it is allowed to acquire the monitor.
+// If it is a low-priority thread, it is allowed to run only if there are
+// no other waiting high-priority threads." Exit reports whether the
+// monitor was fully released (entryCount reached zero).
+func (m *Monitor) Exit(t *sched.Thread) bool {
+	if m.owner != t {
+		panic(fmt.Sprintf("monitor %s: Exit by non-owner %s (owner %v)", m.name, t.Name(), m.owner))
+	}
+	m.entryCount--
+	if m.entryCount > 0 {
+		return false
+	}
+	m.release()
+	return true
+}
+
+// ForceRelease releases the monitor entirely regardless of entry count,
+// used during revocation: the rolled-back section's nested re-entries
+// vanish along with its effects. As after a normal release, "the
+// high-priority thread acquires control of the synchronized section" (§4).
+func (m *Monitor) ForceRelease(t *sched.Thread) {
+	if m.owner != t {
+		panic(fmt.Sprintf("monitor %s: ForceRelease by non-owner %s", m.name, t.Name()))
+	}
+	m.release()
+}
+
+// release clears ownership, hands the monitor to the best-priority waiter
+// and schedules that thread (expedited when it outranks the releaser).
+func (m *Monitor) release() {
+	releaser := m.owner
+	m.owner = nil
+	m.entryCount = 0
+	m.nonRevocable = false
+	m.nonRevReason = ""
+	next := m.queuePop()
+	if next == nil {
+		return
+	}
+	m.takeOwnership(next)
+	m.sch.Unblock(next, sched.WakeGranted)
+	if releaser == nil || next.Priority() > releaser.Priority() {
+		m.sch.Expedite(next)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wait / notify. Semantics follow Java: wait releases the monitor fully
+// (whatever the reentrancy depth), parks the thread on the wait set, and on
+// wakeup re-acquires to the same depth before returning. Spurious wakeups
+// are permitted by the JLS; the paper relies on that to keep notify
+// revocable ("a rolled back notification can be considered as such", §2.2).
+
+// Wait implements Object.wait for the owner t. It releases the monitor
+// fully, parks t, and on notification re-acquires to the original depth
+// before returning, so the caller always owns the monitor afterwards.
+//
+// onInterrupt, if non-nil, is invoked whenever the thread is woken with
+// WakeInterrupt (the runtime interrupting a blocked thread to deliver a
+// revocation). The callback may abandon the wait by panicking — the
+// runtime's rollback unwinds through here — or return normally, in which
+// case the interrupt is treated as a JLS-sanctioned spurious wakeup and the
+// thread proceeds to re-acquire the monitor.
+func (m *Monitor) Wait(t *sched.Thread, onInterrupt func()) {
+	if m.owner != t {
+		panic(fmt.Sprintf("monitor %s: Wait by non-owner %s", m.name, t.Name()))
+	}
+	depth := m.entryCount
+	m.release()
+	m.waitQ.push(t)
+	kind := t.Block("wait " + m.name)
+	if kind == sched.WakeInterrupt {
+		m.waitQ.remove(t)
+		if onInterrupt != nil {
+			onInterrupt()
+		}
+		// Stale interrupt: proceed as a spurious wakeup.
+	}
+	// Notified (or spuriously woken): compete for the monitor again.
+	for {
+		if m.TryEnter(t) {
+			m.entryCount = depth
+			return
+		}
+		k := m.BlockOn(t)
+		if k == sched.WakeInterrupt {
+			if onInterrupt != nil {
+				onInterrupt()
+			}
+			continue
+		}
+		if k == sched.WakeGranted {
+			m.entryCount = depth
+			return
+		}
+	}
+}
+
+// Notify wakes the best-priority waiter, if any, and reports whether one
+// was woken. The caller must own the monitor.
+func (m *Monitor) Notify(t *sched.Thread) bool {
+	if m.owner != t {
+		panic(fmt.Sprintf("monitor %s: Notify by non-owner %s", m.name, t.Name()))
+	}
+	w := m.waitQ.pop()
+	if w == nil {
+		return false
+	}
+	m.sch.Unblock(w, sched.WakeRetry)
+	return true
+}
+
+// NotifyAll wakes every waiter and returns how many were woken.
+func (m *Monitor) NotifyAll(t *sched.Thread) int {
+	if m.owner != t {
+		panic(fmt.Sprintf("monitor %s: NotifyAll by non-owner %s", m.name, t.Name()))
+	}
+	n := 0
+	for {
+		w := m.waitQ.pop()
+		if w == nil {
+			return n
+		}
+		m.sch.Unblock(w, sched.WakeRetry)
+		n++
+	}
+}
+
+// WaitSetLen returns the number of threads in Object.wait.
+func (m *Monitor) WaitSetLen() int { return m.waitQ.len() }
+
+// ---------------------------------------------------------------------------
+// waitQueue is a prioritized FIFO: pop returns the oldest thread of the
+// highest priority present. Sizes are small (bounded by thread count), so a
+// slice with linear scan is both simple and fast.
+
+type waitQueue struct {
+	items []queued
+	seq   int64
+}
+
+type queued struct {
+	t   *sched.Thread
+	seq int64
+}
+
+func (q *waitQueue) push(t *sched.Thread) {
+	q.items = append(q.items, queued{t: t, seq: q.seq})
+	q.seq++
+}
+
+func (q *waitQueue) best() int {
+	if len(q.items) == 0 {
+		return -1
+	}
+	bi := 0
+	for i := 1; i < len(q.items); i++ {
+		b, c := q.items[bi], q.items[i]
+		if c.t.Priority() > b.t.Priority() || (c.t.Priority() == b.t.Priority() && c.seq < b.seq) {
+			bi = i
+		}
+	}
+	return bi
+}
+
+func (q *waitQueue) peek() *sched.Thread {
+	i := q.best()
+	if i < 0 {
+		return nil
+	}
+	return q.items[i].t
+}
+
+func (q *waitQueue) pop() *sched.Thread {
+	i := q.best()
+	if i < 0 {
+		return nil
+	}
+	t := q.items[i].t
+	q.removeAt(i)
+	return t
+}
+
+// popOldest dequeues in pure arrival order (FIFO ablation).
+func (q *waitQueue) popOldest() *sched.Thread {
+	if len(q.items) == 0 {
+		return nil
+	}
+	bi := 0
+	for i := 1; i < len(q.items); i++ {
+		if q.items[i].seq < q.items[bi].seq {
+			bi = i
+		}
+	}
+	t := q.items[bi].t
+	q.removeAt(bi)
+	return t
+}
+
+func (q *waitQueue) remove(t *sched.Thread) bool {
+	for i, it := range q.items {
+		if it.t == t {
+			q.removeAt(i)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *waitQueue) removeAt(i int) {
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = queued{}
+	q.items = q.items[:len(q.items)-1]
+}
+
+func (q *waitQueue) len() int { return len(q.items) }
+
+func (q *waitQueue) inOrder() []*sched.Thread {
+	out := make([]*sched.Thread, 0, len(q.items))
+	tmp := waitQueue{items: append([]queued(nil), q.items...), seq: q.seq}
+	for {
+		t := tmp.pop()
+		if t == nil {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// DumpQueues renders both queues for diagnostics.
+func (m *Monitor) DumpQueues() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entry[")
+	for i, t := range m.entryQ.inOrder() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s/%d", t.Name(), t.Priority())
+	}
+	fmt.Fprintf(&b, "] wait[")
+	for i, t := range m.waitQ.inOrder() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s/%d", t.Name(), t.Priority())
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,568 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// enter acquires m for th, blocking on the prioritized queue as needed.
+// This mirrors the acquisition loop the runtime layer drives.
+func enter(m *Monitor, th *sched.Thread) {
+	for {
+		if m.TryEnter(th) {
+			return
+		}
+		if m.BlockOn(th) == sched.WakeGranted {
+			return
+		}
+	}
+}
+
+func TestUncontendedEnterExit(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		if !m.TryEnter(th) {
+			t.Error("TryEnter failed on free monitor")
+		}
+		if !m.HeldBy(th) || m.EntryCount() != 1 {
+			t.Error("ownership not recorded")
+		}
+		if !m.Exit(th) {
+			t.Error("Exit did not fully release")
+		}
+		if m.Owner() != nil {
+			t.Error("owner not cleared")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReentrancy(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		if !m.TryEnter(th) {
+			t.Error("reentrant TryEnter failed")
+		}
+		if m.EntryCount() != 2 {
+			t.Errorf("EntryCount = %d", m.EntryCount())
+		}
+		if m.Exit(th) {
+			t.Error("inner Exit reported full release")
+		}
+		if !m.Exit(th) {
+			t.Error("outer Exit did not fully release")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	s := sched.New(sched.Config{Quantum: 3})
+	m := New(s, "m")
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		s.Spawn(fmt.Sprintf("t%d", i), sched.NormPriority, func(th *sched.Thread) {
+			for k := 0; k < 5; k++ {
+				enter(m, th)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				th.Advance(2)
+				th.YieldPoint()
+				th.Advance(2)
+				th.YieldPoint()
+				inside--
+				m.Exit(th)
+				th.YieldPoint()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d threads inside", maxInside)
+	}
+}
+
+func TestPriorityDeposit(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.LowPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		if m.OwnerPriority() != sched.LowPriority {
+			t.Errorf("deposited priority = %d", m.OwnerPriority())
+		}
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrioritizedHandoff reproduces the paper's admission rule: on release,
+// a waiting high-priority thread acquires the monitor even if a low-priority
+// thread queued first.
+func TestPrioritizedHandoff(t *testing.T) {
+	s := sched.New(sched.Config{Quantum: 1000})
+	m := New(s, "m")
+	var order []string
+
+	s.Spawn("owner", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		// Let both contenders queue up (they run and block when we yield).
+		th.Yield()
+		th.Yield()
+		m.Exit(th)
+	})
+	s.Spawn("low-first", sched.LowPriority, func(th *sched.Thread) {
+		enter(m, th) // queues before high
+		order = append(order, "low")
+		m.Exit(th)
+	})
+	s.Spawn("high-second", sched.HighPriority, func(th *sched.Thread) {
+		enter(m, th)
+		order = append(order, "high")
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "high" {
+		t.Fatalf("admission order = %v, want high first", order)
+	}
+}
+
+func TestFIFOWithinPriorityLevel(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	var order []string
+	s.Spawn("owner", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		th.Yield()
+		th.Yield()
+		th.Yield()
+		m.Exit(th)
+	})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		s.Spawn(name, sched.NormPriority, func(th *sched.Thread) {
+			enter(m, th)
+			order = append(order, th.Name())
+			m.Exit(th)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestExitHandsOffDirectly(t *testing.T) {
+	// A release with waiters transfers ownership before the waiter runs
+	// (§4's prioritized queues schedule the dequeued thread).
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	var contender *sched.Thread
+	s.Spawn("owner", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		th.Yield() // let contender block
+		m.Exit(th)
+		if m.Owner() != contender {
+			t.Error("ownership not transferred on release")
+		}
+	})
+	contender = s.Spawn("contender", sched.NormPriority, func(th *sched.Thread) {
+		enter(m, th)
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceReleaseHandsOffDirectly(t *testing.T) {
+	// Revocation's release transfers ownership directly to the best
+	// waiter (§4: "the high-priority thread acquires control").
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	var contender *sched.Thread
+	s.Spawn("owner", sched.LowPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		th.Yield() // let contender block
+		m.ForceRelease(th)
+		if m.Owner() != contender {
+			t.Error("ForceRelease did not hand ownership to the waiter")
+		}
+	})
+	contender = s.Spawn("contender", sched.HighPriority, func(th *sched.Thread) {
+		enter(m, th)
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandoffSkipsNobody(t *testing.T) {
+	// Releasing with two queued waiters transfers to the best one and
+	// leaves the other queued.
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("owner", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		th.Yield() // let both highs block
+		th.Yield()
+		m.Exit(th) // hands off to one high; the other remains queued
+		if m.EntryQueueLen() != 1 {
+			t.Fatalf("queue length after exit = %d, want 1", m.EntryQueueLen())
+		}
+		if m.Owner() == nil || m.Owner().Priority() != sched.HighPriority {
+			t.Error("handoff target wrong")
+		}
+	})
+	for i := 0; i < 2; i++ {
+		s.Spawn(fmt.Sprintf("high%d", i), sched.HighPriority, func(th *sched.Thread) {
+			enter(m, th)
+			m.Exit(th)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceReleaseClearsReentrancy(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		m.TryEnter(th)
+		m.TryEnter(th)
+		m.ForceRelease(th)
+		if m.Owner() != nil || m.EntryCount() != 0 {
+			t.Error("ForceRelease left state behind")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenChangesPerSpan(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		g1 := m.Gen()
+		m.TryEnter(th) // reentrant: same span
+		if m.Gen() != g1 {
+			t.Error("gen changed on reentrant enter")
+		}
+		m.Exit(th)
+		m.Exit(th)
+		m.TryEnter(th)
+		if m.Gen() == g1 {
+			t.Error("gen unchanged across spans")
+		}
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonRevocableStateResetsPerSpan(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		m.MarkNonRevocable("native")
+		if nr, why := m.NonRevocable(); !nr || why != "native" {
+			t.Errorf("NonRevocable = %v,%q", nr, why)
+		}
+		m.MarkNonRevocable("second") // first reason sticks
+		if _, why := m.NonRevocable(); why != "native" {
+			t.Errorf("reason overwritten: %q", why)
+		}
+		m.Exit(th)
+		m.TryEnter(th)
+		if nr, _ := m.NonRevocable(); nr {
+			t.Error("non-revocability leaked into a new span")
+		}
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitNotify(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	ready := false
+	s.Spawn("consumer", sched.NormPriority, func(th *sched.Thread) {
+		enter(m, th)
+		for !ready {
+			m.Wait(th, nil)
+		}
+		m.Exit(th)
+	})
+	s.Spawn("producer", sched.NormPriority, func(th *sched.Thread) {
+		enter(m, th)
+		ready = true
+		m.Notify(th)
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitPreservesDepth(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("waiter", sched.NormPriority, func(th *sched.Thread) {
+		enter(m, th)
+		m.TryEnter(th) // depth 2
+		m.Wait(th, nil)
+		if m.EntryCount() != 2 {
+			t.Errorf("depth after wait = %d, want 2", m.EntryCount())
+		}
+		m.Exit(th)
+		m.Exit(th)
+	})
+	s.Spawn("notifier", sched.NormPriority, func(th *sched.Thread) {
+		for m.WaitSetLen() == 0 {
+			th.Yield()
+		}
+		enter(m, th)
+		m.Notify(th)
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitReleasesFully(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	acquired := false
+	s.Spawn("waiter", sched.NormPriority, func(th *sched.Thread) {
+		enter(m, th)
+		m.TryEnter(th)
+		m.Wait(th, nil) // must release both levels
+		m.Exit(th)
+		m.Exit(th)
+	})
+	s.Spawn("other", sched.NormPriority, func(th *sched.Thread) {
+		enter(m, th) // succeeds while waiter waits
+		acquired = true
+		m.Notify(th)
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !acquired {
+		t.Fatal("monitor not released during wait")
+	}
+}
+
+func TestNotifyAll(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn(fmt.Sprintf("w%d", i), sched.NormPriority, func(th *sched.Thread) {
+			enter(m, th)
+			m.Wait(th, nil)
+			woken++
+			m.Exit(th)
+		})
+	}
+	s.Spawn("notifier", sched.NormPriority, func(th *sched.Thread) {
+		for m.WaitSetLen() < 3 {
+			th.Yield()
+		}
+		enter(m, th)
+		if n := m.NotifyAll(th); n != 3 {
+			t.Errorf("NotifyAll woke %d", n)
+		}
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d", woken)
+	}
+}
+
+func TestNotifyNoWaiters(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		enter(m, th)
+		if m.Notify(th) {
+			t.Error("Notify with no waiters returned true")
+		}
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExitByNonOwnerPanics(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Exit by non-owner did not panic")
+			}
+		}()
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitByNonOwnerPanics(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wait by non-owner did not panic")
+			}
+		}()
+		m.Wait(th, nil)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterruptedWaiterRemovedFromQueue(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	interrupted := false
+	var waiter *sched.Thread
+	waiter = s.Spawn("waiter", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		m.Wait(th, func() { interrupted = true })
+		m.Exit(th)
+	})
+	s.Spawn("interruptor", sched.NormPriority, func(th *sched.Thread) {
+		for m.WaitSetLen() == 0 {
+			th.Yield()
+		}
+		s.Unblock(waiter, sched.WakeInterrupt)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted {
+		t.Fatal("onInterrupt not called")
+	}
+	if m.WaitSetLen() != 0 {
+		t.Fatal("waiter left in wait set")
+	}
+}
+
+func TestStatsAndIntrospection(t *testing.T) {
+	s := sched.New(sched.Config{})
+	m := New(s, "contested")
+	s.Spawn("a", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		th.Yield()
+		th.Yield()
+		if m.EntryQueueLen() != 2 {
+			t.Errorf("EntryQueueLen = %d", m.EntryQueueLen())
+		}
+		ws := m.Waiters()
+		if len(ws) != 2 || ws[0].Priority() < ws[1].Priority() {
+			t.Errorf("Waiters misordered")
+		}
+		if hw := m.HighestWaiter(); hw == nil || hw.Priority() != sched.HighPriority {
+			t.Error("HighestWaiter wrong")
+		}
+		if !strings.Contains(m.DumpQueues(), "entry[") {
+			t.Error("DumpQueues format")
+		}
+		m.Exit(th)
+	})
+	s.Spawn("w1", sched.LowPriority, func(th *sched.Thread) {
+		enter(m, th)
+		m.Exit(th)
+	})
+	s.Spawn("w2", sched.HighPriority, func(th *sched.Thread) {
+		enter(m, th)
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acquisitions() < 3 {
+		t.Errorf("Acquisitions = %d", m.Acquisitions())
+	}
+	if m.Contended() != 2 {
+		t.Errorf("Contended = %d", m.Contended())
+	}
+	if !strings.Contains(m.String(), "free") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestFIFOQueueDiscipline(t *testing.T) {
+	// With FIFOQueue set, a low-priority waiter that queued first is
+	// served before a high-priority one — the behaviour the paper's
+	// prioritized queues exist to prevent.
+	s := sched.New(sched.Config{})
+	m := New(s, "m")
+	m.FIFOQueue = true
+	var order []string
+	s.Spawn("owner", sched.NormPriority, func(th *sched.Thread) {
+		m.TryEnter(th)
+		th.Yield() // let low queue first
+		th.Yield() // then high
+		m.Exit(th)
+	})
+	s.Spawn("low-first", sched.LowPriority, func(th *sched.Thread) {
+		enter(m, th)
+		order = append(order, "low")
+		m.Exit(th)
+	})
+	s.Spawn("high-second", sched.HighPriority, func(th *sched.Thread) {
+		enter(m, th)
+		order = append(order, "high")
+		m.Exit(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "low" {
+		t.Fatalf("FIFO admission order = %v, want low first", order)
+	}
+}

@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestTimerPreemptionMidSlice: a thread dispatched mid-slice gets only the
+// remainder of the global timeslice, like under a wall-clock interval
+// timer (the Jikes RVM model).
+func TestTimerPreemptionMidSlice(t *testing.T) {
+	s := New(Config{Quantum: 100})
+	var bFirstRun simtime.Ticks = -1
+	var aResumed simtime.Ticks = -1
+	var blocked *Thread
+	blocked = s.Spawn("sleeper", NormPriority, func(th *Thread) {
+		th.Block("poke") // parked immediately
+		// Woken at t=60 by "a"; runs mid-slice: boundary at 100.
+		for i := 0; i < 20; i++ {
+			th.Advance(10)
+			th.YieldPoint()
+			if bFirstRun < 0 {
+				bFirstRun = s.Now()
+			}
+		}
+	})
+	s.Spawn("a", NormPriority, func(th *Thread) {
+		th.Advance(60)
+		s.Unblock(blocked, WakeGranted)
+		th.Yield() // hand over mid-slice
+		aResumed = s.Now()
+		th.Advance(10)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// sleeper was dispatched at 60 and must have been preempted at the
+	// global boundary t=100 (not at 60+100=160): "a" resumed at ~100.
+	if aResumed < 100 || aResumed > 110 {
+		t.Fatalf("a resumed at %d, want ~100 (global timeslice boundary)", aResumed)
+	}
+}
+
+// TestTimerBoundaryResetOnExpiry: after a boundary-triggered switch, the
+// next boundary is a full quantum later.
+func TestTimerBoundaryResetOnExpiry(t *testing.T) {
+	s := New(Config{Quantum: 50})
+	var switches []simtime.Ticks
+	work := func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Advance(25)
+			if th.NeedsYield() {
+				switches = append(switches, s.Now())
+			}
+			th.YieldPoint()
+		}
+	}
+	s.Spawn("a", NormPriority, work)
+	s.Spawn("b", NormPriority, work)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range switches {
+		if at%50 != 0 {
+			t.Fatalf("switch %d at %d, not on a 50-tick boundary", i, at)
+		}
+	}
+	if len(switches) < 4 {
+		t.Fatalf("too few boundary switches: %v", switches)
+	}
+}
+
+// TestExpediteOverridesQueueOrder: the expedited thread is dispatched next
+// even from the back of the queue.
+func TestExpediteOverridesQueueOrder(t *testing.T) {
+	s := New(Config{})
+	var order []string
+	var last *Thread
+	s.Spawn("first", NormPriority, func(th *Thread) {
+		s.Expedite(last) // jump the queue
+		th.Yield()
+		order = append(order, "first")
+	})
+	s.Spawn("second", NormPriority, func(th *Thread) {
+		order = append(order, "second")
+	})
+	last = s.Spawn("last", NormPriority, func(th *Thread) {
+		order = append(order, "last")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "last" {
+		t.Fatalf("order = %v, want last first (expedited)", order)
+	}
+}
+
+// TestExpediteOverridesPriority: expedite must beat even the PriorityRR
+// dispatcher — the revocation victim needs the CPU precisely when
+// higher-priority threads are hogging it.
+func TestExpediteOverridesPriority(t *testing.T) {
+	s := New(Config{Policy: PriorityRR, Quantum: 50})
+	var order []string
+	var low *Thread
+	low = s.Spawn("low", LowPriority, func(th *Thread) {
+		order = append(order, "low")
+	})
+	s.Spawn("high", HighPriority, func(th *Thread) {
+		s.Expedite(low)
+		th.Yield()
+		order = append(order, "high")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "low" {
+		t.Fatalf("order = %v, want expedited low before high", order)
+	}
+}
+
+// TestExpediteNonQueuedIsNoop: expediting a blocked thread does nothing.
+func TestExpediteNonQueuedIsNoop(t *testing.T) {
+	s := New(Config{})
+	var blocked *Thread
+	blocked = s.Spawn("blocked", NormPriority, func(th *Thread) {
+		th.Block("forever-ish")
+	})
+	s.Spawn("driver", NormPriority, func(th *Thread) {
+		th.Yield() // let blocked park
+		s.Expedite(blocked)
+		th.Yield() // scheduler must not dispatch the blocked thread
+		s.Unblock(blocked, WakeGranted)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpediteStaleEntryIgnored: an expedited thread that blocks before
+// the next dispatch is skipped safely.
+func TestExpediteStaleEntryIgnored(t *testing.T) {
+	s := New(Config{})
+	ran := false
+	var a *Thread
+	a = s.Spawn("a", NormPriority, func(th *Thread) {
+		th.Yield()
+		ran = true
+	})
+	s.Spawn("b", NormPriority, func(th *Thread) {
+		s.Expedite(a)
+		s.dequeue(a) // simulate a racing state change
+		th.Yield()
+		s.enqueue(a)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("a never ran")
+	}
+}
+
+// TestManyThreadsRoundRobinFairness: with equal work, all threads finish
+// within one quantum of each other under round robin.
+func TestManyThreadsRoundRobinFairness(t *testing.T) {
+	s := New(Config{Quantum: 100})
+	const n = 8
+	ends := make([]simtime.Ticks, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("t%d", i), NormPriority, func(th *Thread) {
+			for k := 0; k < 50; k++ {
+				th.Advance(20)
+				th.YieldPoint()
+			}
+			ends[i] = s.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	min, max := ends[0], ends[0]
+	for _, e := range ends {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max-min > 8*100+200 {
+		t.Fatalf("unfair spread: %v", ends)
+	}
+}
+
+// TestClockNeverMovesBackwards across a long mixed run.
+func TestClockNeverMovesBackwards(t *testing.T) {
+	s := New(Config{Quantum: 30, Seed: 9})
+	var last simtime.Ticks
+	check := func(th *Thread) {
+		now := s.Now()
+		if now < last {
+			t.Errorf("clock went backwards: %d -> %d", last, now)
+		}
+		last = now
+	}
+	for i := 0; i < 5; i++ {
+		s.Spawn(fmt.Sprintf("t%d", i), NormPriority, func(th *Thread) {
+			for k := 0; k < 30; k++ {
+				switch k % 3 {
+				case 0:
+					th.Advance(simtime.Ticks(s.Rng().Intn(40)))
+					th.YieldPoint()
+				case 1:
+					th.Sleep(simtime.Ticks(s.Rng().Intn(25)))
+				case 2:
+					th.Yield()
+				}
+				check(th)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Summary aggregates a trace: events per kind and per thread, plus the
+// time span covered. Useful for asserting on runs without enumerating raw
+// events.
+type Summary struct {
+	Start, End simtime.Ticks
+	PerKind    map[Kind]int
+	PerThread  map[string]int
+	Total      int
+}
+
+// Summarize builds a Summary from recorded events.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		PerKind:   map[Kind]int{},
+		PerThread: map[string]int{},
+		Total:     len(events),
+	}
+	for i, e := range events {
+		if i == 0 || e.At < s.Start {
+			s.Start = e.At
+		}
+		if e.At > s.End {
+			s.End = e.At
+		}
+		s.PerKind[e.Kind]++
+		if e.Thread != "" {
+			s.PerThread[e.Thread]++
+		}
+	}
+	return s
+}
+
+// Render writes the summary as aligned text.
+func (s Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events over [%d, %d]\n", s.Total, s.Start, s.End)
+	kinds := make([]Kind, 0, len(s.PerKind))
+	for k := range s.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-20s %d\n", k.String(), s.PerKind[k])
+	}
+}
+
+// Timeline renders an ASCII schedule of thread activity: one row per
+// thread, one column per bucket of virtual time, '#' where the thread was
+// dispatched in that bucket, 'R' where one of its sections rolled back.
+// Width is the number of columns (min 10).
+func Timeline(events []Event, width int) string {
+	if len(events) == 0 {
+		return "(empty trace)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	s := Summarize(events)
+	span := s.End - s.Start
+	if span <= 0 {
+		span = 1
+	}
+	bucket := func(at simtime.Ticks) int {
+		b := int((at - s.Start) * simtime.Ticks(width-1) / span)
+		if b < 0 {
+			b = 0
+		}
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+
+	// Rows in first-appearance order.
+	var names []string
+	seen := map[string]bool{}
+	rows := map[string][]byte{}
+	for _, e := range events {
+		if e.Thread == "" || seen[e.Thread] {
+			continue
+		}
+		seen[e.Thread] = true
+		names = append(names, e.Thread)
+		rows[e.Thread] = []byte(strings.Repeat(".", width))
+	}
+	cur := ""
+	for _, e := range events {
+		switch e.Kind {
+		case ContextSwitch:
+			cur = e.Thread
+			if row := rows[cur]; row != nil {
+				if b := bucket(e.At); row[b] == '.' {
+					row[b] = '#' // 'R' markers stay visible
+				}
+			}
+		case Rollback:
+			if row := rows[e.Thread]; row != nil {
+				row[bucket(e.At)] = 'R'
+			}
+		case ThreadEnd:
+			if cur == e.Thread {
+				cur = ""
+			}
+		default:
+			// Any activity by the current thread marks its bucket.
+			if e.Thread == cur && cur != "" {
+				if row := rows[cur]; row != nil && row[bucket(e.At)] == '.' {
+					row[bucket(e.At)] = '#'
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	maxName := 0
+	for _, n := range names {
+		if len(n) > maxName {
+			maxName = len(n)
+		}
+	}
+	fmt.Fprintf(&b, "%*s  t=%d%s t=%d\n", maxName, "", s.Start,
+		strings.Repeat(" ", max(1, width-len(fmt.Sprint(s.Start))-len(fmt.Sprint(s.End))-4)), s.End)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%*s  %s\n", maxName, n, rows[n])
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

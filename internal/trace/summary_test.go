@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Kind: ThreadStart, Thread: "a"},
+		{At: 0, Kind: ContextSwitch, Thread: "a"},
+		{At: 10, Kind: MonitorAcquired, Thread: "a", Object: "m"},
+		{At: 50, Kind: ContextSwitch, Thread: "b"},
+		{At: 60, Kind: Rollback, Thread: "a", Object: "m"},
+		{At: 90, Kind: ThreadEnd, Thread: "b"},
+		{At: 100, Kind: ThreadEnd, Thread: "a"},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleEvents())
+	if s.Total != 7 {
+		t.Fatalf("Total = %d", s.Total)
+	}
+	if s.Start != 0 || s.End != 100 {
+		t.Fatalf("span = [%d,%d]", s.Start, s.End)
+	}
+	if s.PerKind[ContextSwitch] != 2 || s.PerKind[Rollback] != 1 {
+		t.Fatalf("PerKind = %v", s.PerKind)
+	}
+	if s.PerThread["a"] != 5 || s.PerThread["b"] != 2 {
+		t.Fatalf("PerThread = %v", s.PerThread)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Total != 0 || s.Start != 0 || s.End != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	var b strings.Builder
+	Summarize(sampleEvents()).Render(&b)
+	out := b.String()
+	for _, want := range []string{"7 events", "context-switch", "rollback"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	out := Timeline(sampleEvents(), 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 threads
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(out, "R") {
+		t.Fatalf("timeline missing thread row or rollback marker:\n%s", out)
+	}
+	// Thread a was dispatched at t=0: its row starts with '#'.
+	aRow := lines[1][strings.Index(lines[1], " ")+2:]
+	if !strings.Contains(aRow, "#") {
+		t.Fatalf("no dispatch marks for a: %q", aRow)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if Timeline(nil, 20) != "(empty trace)\n" {
+		t.Fatal("empty timeline wrong")
+	}
+}
+
+func TestTimelineMinWidth(t *testing.T) {
+	out := Timeline(sampleEvents(), 1) // clamped to 10
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestTimelineEndToEnd(t *testing.T) {
+	// Build a realistic recorder via a tiny fake run.
+	var r Recorder
+	r.Emit(Event{At: 0, Kind: ContextSwitch, Thread: "low"})
+	r.Emit(Event{At: 40, Kind: Rollback, Thread: "low"})
+	r.Emit(Event{At: 41, Kind: ContextSwitch, Thread: "high"})
+	r.Emit(Event{At: 80, Kind: ThreadEnd, Thread: "high"})
+	out := Timeline(r.Events(), 40)
+	if !strings.Contains(out, "low") || !strings.Contains(out, "high") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}

@@ -1,0 +1,200 @@
+// Package trace records structured events emitted by the runtime: monitor
+// acquisitions, revocations, rollbacks, context switches, deadlock
+// resolutions. Traces drive integration tests (assert on the event stream)
+// and the example programs (human-readable narration of a schedule).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, roughly in lifecycle order.
+const (
+	ThreadStart Kind = iota
+	ThreadEnd
+	ContextSwitch
+	MonitorEnter
+	MonitorAcquired
+	MonitorBlocked
+	MonitorExit
+	InversionDetected
+	RevokeRequested
+	RevokeDenied
+	Rollback
+	Reexecution
+	NonRevocable
+	DeadlockDetected
+	DeadlockBroken
+	WaitStart
+	WaitEnd
+	Notify
+	NativeCall
+	VolatileWrite
+	VolatileRead
+	Custom
+)
+
+var kindNames = map[Kind]string{
+	ThreadStart:       "thread-start",
+	ThreadEnd:         "thread-end",
+	ContextSwitch:     "context-switch",
+	MonitorEnter:      "monitor-enter",
+	MonitorAcquired:   "monitor-acquired",
+	MonitorBlocked:    "monitor-blocked",
+	MonitorExit:       "monitor-exit",
+	InversionDetected: "inversion-detected",
+	RevokeRequested:   "revoke-requested",
+	RevokeDenied:      "revoke-denied",
+	Rollback:          "rollback",
+	Reexecution:       "re-execution",
+	NonRevocable:      "non-revocable",
+	DeadlockDetected:  "deadlock-detected",
+	DeadlockBroken:    "deadlock-broken",
+	WaitStart:         "wait-start",
+	WaitEnd:           "wait-end",
+	Notify:            "notify",
+	NativeCall:        "native-call",
+	VolatileWrite:     "volatile-write",
+	VolatileRead:      "volatile-read",
+	Custom:            "custom",
+}
+
+// String returns the stable, hyphenated name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one timestamped occurrence.
+type Event struct {
+	At     simtime.Ticks
+	Kind   Kind
+	Thread string // name of the acting thread ("" for scheduler events)
+	Object string // monitor or object involved, if any
+	Detail string // free-form context
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%8d] %-18s", e.At, e.Kind)
+	if e.Thread != "" {
+		fmt.Fprintf(&b, " thread=%s", e.Thread)
+	}
+	if e.Object != "" {
+		fmt.Fprintf(&b, " object=%s", e.Object)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Sink receives events. Implementations must be cheap; the runtime calls
+// Emit on the hot path when tracing is enabled.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is a Sink that appends events to memory for later inspection.
+// The zero value is ready to use.
+type Recorder struct {
+	events []Event
+}
+
+// Emit appends the event.
+func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }
+
+// Events returns the recorded events in emission order. The returned slice
+// is the recorder's backing store; callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len reports how many events were recorded.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Count returns the number of recorded events of the given kind.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CountFor returns the number of events of kind k acted by the named thread.
+func (r *Recorder) CountFor(k Kind, thread string) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k && e.Thread == thread {
+			n++
+		}
+	}
+	return n
+}
+
+// First returns the first event of the given kind, or ok=false.
+func (r *Recorder) First(k Kind) (Event, bool) {
+	for _, e := range r.events {
+		if e.Kind == k {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Filter returns all events satisfying keep, in order.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the whole trace to w, one event per line.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.events {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Writer is a Sink that streams each event to an io.Writer as it occurs.
+type Writer struct {
+	W io.Writer
+}
+
+// Emit writes the event followed by a newline.
+func (w Writer) Emit(e Event) { fmt.Fprintln(w.W, e) }
+
+// Multi fans events out to several sinks.
+type Multi []Sink
+
+// Emit delivers e to every sink in order.
+func (m Multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Discard is a Sink that drops everything.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) Emit(Event) {}

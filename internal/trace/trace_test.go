@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if Rollback.String() != "rollback" {
+		t.Fatalf("Rollback = %q", Rollback)
+	}
+	if got := Kind(999).String(); !strings.Contains(got, "999") {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 42, Kind: MonitorEnter, Thread: "hi", Object: "m", Detail: "contended"}
+	s := e.String()
+	for _, want := range []string{"42", "monitor-enter", "thread=hi", "object=m", "contended"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestEventStringOmitsEmptyFields(t *testing.T) {
+	e := Event{At: 1, Kind: ContextSwitch}
+	s := e.String()
+	if strings.Contains(s, "thread=") || strings.Contains(s, "object=") {
+		t.Fatalf("empty fields rendered: %q", s)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Emit(Event{Kind: Rollback, Thread: "lo"})
+	r.Emit(Event{Kind: Rollback, Thread: "lo2"})
+	r.Emit(Event{Kind: MonitorExit, Thread: "lo"})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Count(Rollback) != 2 {
+		t.Fatalf("Count(Rollback) = %d", r.Count(Rollback))
+	}
+	if r.CountFor(Rollback, "lo") != 1 {
+		t.Fatalf("CountFor = %d", r.CountFor(Rollback, "lo"))
+	}
+	e, ok := r.First(MonitorExit)
+	if !ok || e.Thread != "lo" {
+		t.Fatalf("First = %+v,%v", e, ok)
+	}
+	if _, ok := r.First(DeadlockBroken); ok {
+		t.Fatal("First found a missing kind")
+	}
+	got := r.Filter(func(e Event) bool { return e.Thread == "lo" })
+	if len(got) != 2 {
+		t.Fatalf("Filter = %d events", len(got))
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestRecorderDump(t *testing.T) {
+	var r Recorder
+	r.Emit(Event{Kind: Notify, Thread: "a"})
+	var b strings.Builder
+	r.Dump(&b)
+	if !strings.Contains(b.String(), "notify") {
+		t.Fatalf("Dump = %q", b.String())
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var b strings.Builder
+	w := Writer{W: &b}
+	w.Emit(Event{Kind: ThreadStart, Thread: "x"})
+	if !strings.Contains(b.String(), "thread-start") {
+		t.Fatalf("Writer output = %q", b.String())
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b Recorder
+	m := Multi{&a, &b}
+	m.Emit(Event{Kind: Custom})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	Discard.Emit(Event{Kind: Custom}) // must not panic
+}
+
+func TestAllKindsHaveNames(t *testing.T) {
+	for k := ThreadStart; k <= Custom; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}

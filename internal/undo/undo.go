@@ -1,0 +1,156 @@
+// Package undo implements the sequential update log the paper's write
+// barriers fill (§3.1.2): "For object and array stores, three values are
+// recorded: object or array reference, value offset and the (old) value
+// itself. For static variable stores two values are recorded: the offset of
+// the static variable in the global symbol table and the old value."
+//
+// A rollback processes the log in reverse, restoring every modified location
+// to its original value. Marks delimit the portion of the log belonging to a
+// synchronized section, so nested sections roll back only their own suffix.
+package undo
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+)
+
+// Entry is one logged store.
+type Entry struct {
+	Kind heap.Kind
+	Obj  *heap.Object // KindObject
+	Arr  *heap.Array  // KindArray
+	Idx  int          // field index, element index, or static offset
+	Old  heap.Word    // value before the store
+}
+
+// Loc identifies a heap location for speculation tracking; it is the map
+// key form of an Entry's address.
+type Loc struct {
+	Kind heap.Kind
+	ID   uint64 // object or array id; 0 for statics
+	Idx  int
+}
+
+// Loc returns the entry's location key.
+func (e Entry) Loc() Loc {
+	switch e.Kind {
+	case heap.KindObject:
+		return Loc{Kind: heap.KindObject, ID: e.Obj.ID(), Idx: e.Idx}
+	case heap.KindArray:
+		return Loc{Kind: heap.KindArray, ID: e.Arr.ID(), Idx: e.Idx}
+	default:
+		return Loc{Kind: heap.KindStatic, Idx: e.Idx}
+	}
+}
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	switch e.Kind {
+	case heap.KindObject:
+		return fmt.Sprintf("object %v.%s old=%d", e.Obj, e.Obj.FieldName(e.Idx), e.Old)
+	case heap.KindArray:
+		return fmt.Sprintf("array %v[%d] old=%d", e.Arr, e.Idx, e.Old)
+	default:
+		return fmt.Sprintf("static[%d] old=%d", e.Idx, e.Old)
+	}
+}
+
+// Mark is a position in the log; RollbackTo(m) undoes every entry appended
+// at or after m.
+type Mark int
+
+// Log is the per-thread sequential buffer. The zero value is an empty log.
+type Log struct {
+	entries []Entry
+
+	// appended counts every entry ever logged, across truncations; it
+	// feeds the statistics the evaluation section reports on.
+	appended int64
+	undone   int64
+}
+
+// NewLog returns a log with capacity pre-allocated for cap entries.
+func NewLog(cap int) *Log {
+	return &Log{entries: make([]Entry, 0, cap)}
+}
+
+// Len returns the number of live entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Appended returns the lifetime count of logged stores.
+func (l *Log) Appended() int64 { return l.appended }
+
+// Undone returns the lifetime count of entries reverted by rollbacks.
+func (l *Log) Undone() int64 { return l.undone }
+
+// Mark returns the current log position.
+func (l *Log) Mark() Mark { return Mark(len(l.entries)) }
+
+// Entry returns the i-th live entry.
+func (l *Log) Entry(i int) Entry { return l.entries[i] }
+
+// LogObject records the pre-store value of an object field.
+func (l *Log) LogObject(o *heap.Object, idx int, old heap.Word) {
+	l.entries = append(l.entries, Entry{Kind: heap.KindObject, Obj: o, Idx: idx, Old: old})
+	l.appended++
+}
+
+// LogArray records the pre-store value of an array element.
+func (l *Log) LogArray(a *heap.Array, idx int, old heap.Word) {
+	l.entries = append(l.entries, Entry{Kind: heap.KindArray, Arr: a, Idx: idx, Old: old})
+	l.appended++
+}
+
+// LogStatic records the pre-store value of a static variable.
+func (l *Log) LogStatic(idx int, old heap.Word) {
+	l.entries = append(l.entries, Entry{Kind: heap.KindStatic, Idx: idx, Old: old})
+	l.appended++
+}
+
+// RollbackTo restores, in reverse order, every location modified at or
+// after mark, then truncates the log to mark. h supplies the static table.
+// It returns the number of entries undone.
+func (l *Log) RollbackTo(mark Mark, h *heap.Heap) int {
+	m := int(mark)
+	if m < 0 || m > len(l.entries) {
+		panic(fmt.Sprintf("undo: rollback to invalid mark %d (len %d)", m, len(l.entries)))
+	}
+	n := 0
+	for i := len(l.entries) - 1; i >= m; i-- {
+		e := l.entries[i]
+		switch e.Kind {
+		case heap.KindObject:
+			e.Obj.Set(e.Idx, e.Old)
+		case heap.KindArray:
+			e.Arr.Set(e.Idx, e.Old)
+		case heap.KindStatic:
+			h.SetStatic(e.Idx, e.Old)
+		}
+		n++
+	}
+	l.entries = l.entries[:m]
+	l.undone += int64(n)
+	return n
+}
+
+// Truncate discards (commits) every entry at or after mark without
+// restoring anything: the section completed, its updates are permanent.
+func (l *Log) Truncate(mark Mark) {
+	m := int(mark)
+	if m < 0 || m > len(l.entries) {
+		panic(fmt.Sprintf("undo: truncate to invalid mark %d (len %d)", m, len(l.entries)))
+	}
+	l.entries = l.entries[:m]
+}
+
+// Range calls fn for every live entry from mark to the end, in append
+// order. Used to unregister speculative writes on commit/rollback.
+func (l *Log) Range(mark Mark, fn func(Entry)) {
+	for i := int(mark); i < len(l.entries); i++ {
+		fn(l.entries[i])
+	}
+}
+
+// Reset empties the log, keeping capacity and lifetime counters.
+func (l *Log) Reset() { l.entries = l.entries[:0] }

@@ -1,0 +1,254 @@
+package undo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+)
+
+func setup() (*heap.Heap, *heap.Object, *heap.Array, int) {
+	h := heap.New()
+	o := h.AllocPlain("C", 4)
+	a := h.AllocArray(4)
+	s := h.DefineStatic("s", false, 0)
+	return h, o, a, s
+}
+
+func TestRollbackRestoresObjectField(t *testing.T) {
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	o.Set(0, 10)
+	m := l.Mark()
+	l.LogObject(o, 0, o.Get(0))
+	o.Set(0, 20)
+	n := l.RollbackTo(m, h)
+	if n != 1 {
+		t.Fatalf("undone %d entries, want 1", n)
+	}
+	if o.Get(0) != 10 {
+		t.Fatalf("field = %d, want 10", o.Get(0))
+	}
+}
+
+func TestRollbackRestoresArrayAndStatic(t *testing.T) {
+	h, _, a, s := setup()
+	l := NewLog(0)
+	l.LogArray(a, 2, a.Get(2))
+	a.Set(2, 5)
+	l.LogStatic(s, h.GetStatic(s))
+	h.SetStatic(s, 7)
+	l.RollbackTo(0, h)
+	if a.Get(2) != 0 || h.GetStatic(s) != 0 {
+		t.Fatalf("array=%d static=%d, want 0,0", a.Get(2), h.GetStatic(s))
+	}
+}
+
+func TestRollbackReverseOrder(t *testing.T) {
+	// Two stores to the same slot: rollback must restore the value from
+	// *before the first* store, which only reverse replay achieves.
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	o.Set(1, 100)
+	l.LogObject(o, 1, o.Get(1)) // old = 100
+	o.Set(1, 200)
+	l.LogObject(o, 1, o.Get(1)) // old = 200
+	o.Set(1, 300)
+	l.RollbackTo(0, h)
+	if o.Get(1) != 100 {
+		t.Fatalf("field = %d, want 100 (reverse replay)", o.Get(1))
+	}
+}
+
+func TestPartialRollbackToMark(t *testing.T) {
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	l.LogObject(o, 0, o.Get(0))
+	o.Set(0, 1)
+	m := l.Mark()
+	l.LogObject(o, 1, o.Get(1))
+	o.Set(1, 2)
+	l.RollbackTo(m, h)
+	if o.Get(0) != 1 {
+		t.Fatalf("outer write reverted: %d", o.Get(0))
+	}
+	if o.Get(1) != 0 {
+		t.Fatalf("inner write survived: %d", o.Get(1))
+	}
+	if l.Len() != 1 {
+		t.Fatalf("log length %d, want 1", l.Len())
+	}
+}
+
+func TestTruncateCommits(t *testing.T) {
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	l.LogObject(o, 0, o.Get(0))
+	o.Set(0, 9)
+	l.Truncate(0)
+	if l.Len() != 0 {
+		t.Fatalf("log length %d after truncate", l.Len())
+	}
+	if o.Get(0) != 9 {
+		t.Fatalf("truncate restored the value: %d", o.Get(0))
+	}
+	_ = h
+}
+
+func TestRollbackInvalidMarkPanics(t *testing.T) {
+	h, _, _, _ := setup()
+	l := NewLog(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid mark did not panic")
+		}
+	}()
+	l.RollbackTo(5, h)
+}
+
+func TestTruncateInvalidMarkPanics(t *testing.T) {
+	l := NewLog(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid truncate did not panic")
+		}
+	}()
+	l.Truncate(3)
+}
+
+func TestCounters(t *testing.T) {
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	for i := 0; i < 5; i++ {
+		l.LogObject(o, 0, o.Get(0))
+		o.Set(0, heap.Word(i))
+	}
+	l.RollbackTo(2, h)
+	if l.Appended() != 5 {
+		t.Fatalf("Appended = %d, want 5", l.Appended())
+	}
+	if l.Undone() != 3 {
+		t.Fatalf("Undone = %d, want 3", l.Undone())
+	}
+	l.Reset()
+	if l.Len() != 0 || l.Appended() != 5 {
+		t.Fatal("Reset cleared the wrong things")
+	}
+}
+
+func TestRange(t *testing.T) {
+	_, o, a, s := setup()
+	l := NewLog(0)
+	l.LogObject(o, 0, 1)
+	l.LogArray(a, 1, 2)
+	l.LogStatic(s, 3)
+	var locs []Loc
+	l.Range(1, func(e Entry) { locs = append(locs, e.Loc()) })
+	if len(locs) != 2 {
+		t.Fatalf("Range visited %d entries, want 2", len(locs))
+	}
+	if locs[0].Kind != heap.KindArray || locs[0].ID != a.ID() || locs[0].Idx != 1 {
+		t.Fatalf("first loc = %+v", locs[0])
+	}
+	if locs[1].Kind != heap.KindStatic || locs[1].Idx != s {
+		t.Fatalf("second loc = %+v", locs[1])
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	_, o, a, s := setup()
+	cases := []struct {
+		e    Entry
+		want string
+	}{
+		{Entry{Kind: heap.KindObject, Obj: o, Idx: 0, Old: 1}, "object"},
+		{Entry{Kind: heap.KindArray, Arr: a, Idx: 1, Old: 2}, "array"},
+		{Entry{Kind: heap.KindStatic, Idx: s, Old: 3}, "static"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.e.String(), c.want) {
+			t.Errorf("Entry.String() = %q, want substring %q", c.e.String(), c.want)
+		}
+	}
+}
+
+// Property: for any random sequence of logged stores over a small heap,
+// RollbackTo(0) restores the exact pre-sequence snapshot. This is the
+// paper's core invariant — "the end effect of the rollback is as if the
+// low-priority thread never executed the section".
+func TestRollbackRestoresSnapshotProperty(t *testing.T) {
+	prop := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := heap.New()
+		o := h.AllocPlain("C", 8)
+		a := h.AllocArray(8)
+		s := h.DefineStatic("s", false, 0)
+		// Random initial state.
+		for i := 0; i < 8; i++ {
+			o.Set(i, heap.Word(rng.Int63n(100)))
+			a.Set(i, heap.Word(rng.Int63n(100)))
+		}
+		h.SetStatic(s, heap.Word(rng.Int63n(100)))
+		before := h.Snapshot()
+
+		l := NewLog(0)
+		for i := 0; i < int(steps); i++ {
+			idx := rng.Intn(8)
+			v := heap.Word(rng.Int63n(1000))
+			switch rng.Intn(3) {
+			case 0:
+				l.LogObject(o, idx, o.Get(idx))
+				o.Set(idx, v)
+			case 1:
+				l.LogArray(a, idx, a.Get(idx))
+				a.Set(idx, v)
+			case 2:
+				l.LogStatic(s, h.GetStatic(s))
+				h.SetStatic(s, v)
+			}
+		}
+		l.RollbackTo(0, h)
+		return before.Equal(h.Snapshot()) && l.Len() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested marks roll back independently — undoing the inner
+// suffix then the outer prefix equals undoing everything at once.
+func TestNestedMarksProperty(t *testing.T) {
+	prop := func(seed int64, outer, inner uint8) bool {
+		run := func(twoPhase bool) heap.Snapshot {
+			rng := rand.New(rand.NewSource(seed))
+			h := heap.New()
+			o := h.AllocPlain("C", 4)
+			l := NewLog(0)
+			write := func() {
+				idx := rng.Intn(4)
+				l.LogObject(o, idx, o.Get(idx))
+				o.Set(idx, heap.Word(rng.Int63n(1000)))
+			}
+			for i := 0; i < int(outer%16); i++ {
+				write()
+			}
+			m := l.Mark()
+			for i := 0; i < int(inner%16); i++ {
+				write()
+			}
+			if twoPhase {
+				l.RollbackTo(m, h)
+				l.RollbackTo(0, h)
+			} else {
+				l.RollbackTo(0, h)
+			}
+			return h.Snapshot()
+		}
+		return run(true).Equal(run(false))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package revoke is the public API of the reproduction of
+// "Preemption-Based Avoidance of Priority Inversion for Java" (Welc,
+// Hosking, Jagannathan; ICPP 2004): revocable synchronized sections over a
+// deterministic user-level virtual machine.
+//
+// A Runtime hosts simulated threads with Java-style priorities executing
+// over a simulated heap. Synchronized sections are speculative: in
+// Revocation mode, when a high-priority thread needs a monitor held by a
+// low-priority thread, the holder is preempted at its next yield point, its
+// updates are rolled back from a write-barrier-maintained undo log, the
+// monitor is handed to the high-priority thread, and the aborted section
+// re-executes later — externally as if it never ran. The same machinery
+// detects and breaks monitor deadlocks. Java-memory-model consistency is
+// preserved by marking monitors non-revocable when rollback could expose
+// values other threads were allowed to observe (§2.2 of the paper).
+//
+// Quick start:
+//
+//	rt := revoke.NewRuntime(revoke.Config{Mode: revoke.Revocation})
+//	acct := rt.Heap().AllocObject("Account", heap.FieldSpec{Name: "balance"})
+//	m := rt.MonitorFor(acct)
+//	rt.Spawn("worker", revoke.LowPriority, func(t *revoke.Task) {
+//		t.Synchronized(m, func() {
+//			v := t.ReadField(acct, 0)
+//			t.Work(1000) // long computation inside the section
+//			t.WriteField(acct, 0, v+1)
+//		})
+//	})
+//	rt.Spawn("urgent", revoke.HighPriority, func(t *revoke.Task) {
+//		t.Synchronized(m, func() { t.WriteField(acct, 0, 0) })
+//	})
+//	if err := rt.Run(); err != nil { ... }
+//
+// Virtual time: every shared-data operation advances a deterministic tick
+// clock, every operation is a yield point, and exactly one thread runs at a
+// time — the uniprocessor, pseudo-preemptive setting of the paper's Jikes
+// RVM implementation. Runs are bit-reproducible for a fixed Config.
+//
+// The package re-exports the internal building blocks so downstream code
+// can use the heap, monitors, scheduler and statistics directly.
+package revoke
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Core runtime types.
+type (
+	// Runtime hosts a simulated VM instance. See core.Runtime.
+	Runtime = core.Runtime
+	// Task is one simulated thread. See core.Task.
+	Task = core.Task
+	// Config parameterizes a Runtime. See core.Config.
+	Config = core.Config
+	// Stats aggregates runtime counters. See core.Stats.
+	Stats = core.Stats
+	// Mode selects the VM behaviour (Unmodified or Revocation).
+	Mode = core.Mode
+	// DetectMode selects when inversion is detected.
+	DetectMode = core.DetectMode
+)
+
+// Substrate types.
+type (
+	// Monitor is a Java-style monitor with prioritized entry queues.
+	Monitor = monitor.Monitor
+	// Heap is the simulated shared-memory store.
+	Heap = heap.Heap
+	// Object is a heap object with named slots.
+	Object = heap.Object
+	// Array is a heap array of words.
+	Array = heap.Array
+	// Word is the contents of one heap slot.
+	Word = heap.Word
+	// FieldSpec declares an object field at allocation.
+	FieldSpec = heap.FieldSpec
+	// Priority is a thread priority (MinPriority..MaxPriority).
+	Priority = sched.Priority
+	// SchedConfig configures the scheduler (quantum, policy, seed).
+	SchedConfig = sched.Config
+	// Policy selects the dispatch discipline.
+	Policy = sched.Policy
+	// Ticks is a span of virtual time.
+	Ticks = simtime.Ticks
+	// TraceEvent is one runtime event; collect them with a TraceRecorder.
+	TraceEvent = trace.Event
+	// TraceRecorder records runtime events for inspection.
+	TraceRecorder = trace.Recorder
+	// TraceSink receives runtime events.
+	TraceSink = trace.Sink
+	// Protocol names a lock-management discipline for baselines.
+	Protocol = baseline.Protocol
+)
+
+// VM modes.
+const (
+	// Unmodified is the paper's reference VM: blocking monitors, no
+	// logging, no revocation.
+	Unmodified = core.Unmodified
+	// Revocation is the paper's contribution: revocable synchronized
+	// sections with preemption-based inversion avoidance.
+	Revocation = core.Revocation
+)
+
+// Detection strategies (§1.1: "either at lock acquisition, or periodically
+// in the background").
+const (
+	DetectOnAcquire = core.DetectOnAcquire
+	DetectPeriodic  = core.DetectPeriodic
+	DetectBoth      = core.DetectBoth
+)
+
+// Thread priorities (the Java 1..10 range).
+const (
+	MinPriority  = sched.MinPriority
+	LowPriority  = sched.LowPriority
+	NormPriority = sched.NormPriority
+	HighPriority = sched.HighPriority
+	MaxPriority  = sched.MaxPriority
+)
+
+// Scheduler policies.
+const (
+	// RoundRobin dispatches in FIFO order ignoring priorities, like the
+	// Jikes RVM scheduler the paper builds on.
+	RoundRobin = sched.RoundRobin
+	// PriorityRR dispatches the highest-priority runnable thread,
+	// round-robin within a level.
+	PriorityRR = sched.PriorityRR
+)
+
+// Baseline protocols for comparison (§1, §5).
+const (
+	ProtocolUnmodified  = baseline.Unmodified
+	ProtocolInheritance = baseline.Inheritance
+	ProtocolCeiling     = baseline.Ceiling
+	ProtocolRevocation  = baseline.Revocation
+)
+
+// NewRuntime creates a runtime with the given configuration. Zero-value
+// cost fields default to 1 tick per shared-data operation.
+func NewRuntime(cfg Config) *Runtime { return core.New(cfg) }
+
+// NewBaseline creates a runtime configured for one of the comparison
+// protocols over the shared scheduler configuration.
+func NewBaseline(p Protocol, schedCfg SchedConfig) *Runtime { return baseline.New(p, schedCfg) }
+
+// NewRevocationRuntime creates a runtime with the paper's recommended
+// configuration: revocation mode, acquire-time detection, JMM dependency
+// tracking, and deadlock detection enabled.
+func NewRevocationRuntime(schedCfg SchedConfig) *Runtime {
+	return core.New(Config{
+		Mode:              core.Revocation,
+		Detect:            core.DetectOnAcquire,
+		TrackDependencies: true,
+		DeadlockDetection: true,
+		Sched:             schedCfg,
+	})
+}

@@ -1,0 +1,78 @@
+package revoke_test
+
+import (
+	"testing"
+
+	"repro/revoke"
+)
+
+// TestQuickstart runs the package-documentation example end to end.
+func TestQuickstart(t *testing.T) {
+	rt := revoke.NewRuntime(revoke.Config{Mode: revoke.Revocation})
+	acct := rt.Heap().AllocObject("Account", revoke.FieldSpec{Name: "balance"})
+	m := rt.MonitorFor(acct)
+	rt.Spawn("worker", revoke.LowPriority, func(tk *revoke.Task) {
+		tk.Synchronized(m, func() {
+			v := tk.ReadField(acct, 0)
+			tk.Work(1000)
+			tk.WriteField(acct, 0, v+1)
+		})
+	})
+	rt.Spawn("urgent", revoke.HighPriority, func(tk *revoke.Task) {
+		tk.Work(10)
+		tk.Synchronized(m, func() { tk.WriteField(acct, 0, 100) })
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// worker was revoked and re-executed after urgent: 100 + 1.
+	if got := acct.Get(0); got != 101 {
+		t.Fatalf("balance = %d, want 101", got)
+	}
+	if rt.Stats().Rollbacks == 0 {
+		t.Fatal("no rollback occurred")
+	}
+}
+
+// TestNewRevocationRuntime checks the preset enables the full feature set.
+func TestNewRevocationRuntime(t *testing.T) {
+	rt := revoke.NewRevocationRuntime(revoke.SchedConfig{Quantum: 100})
+	cfg := rt.Config()
+	if cfg.Mode != revoke.Revocation || !cfg.TrackDependencies || !cfg.DeadlockDetection {
+		t.Fatalf("preset config wrong: %+v", cfg)
+	}
+}
+
+// TestNewBaseline builds every protocol.
+func TestNewBaseline(t *testing.T) {
+	for _, p := range []revoke.Protocol{
+		revoke.ProtocolUnmodified, revoke.ProtocolInheritance,
+		revoke.ProtocolCeiling, revoke.ProtocolRevocation,
+	} {
+		rt := revoke.NewBaseline(p, revoke.SchedConfig{})
+		done := false
+		rt.Spawn("t", revoke.NormPriority, func(tk *revoke.Task) { done = true })
+		if err := rt.Run(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !done {
+			t.Fatalf("%v: body did not run", p)
+		}
+	}
+}
+
+// TestTraceRecorderIntegration wires a recorder through the public API.
+func TestTraceRecorderIntegration(t *testing.T) {
+	var rec revoke.TraceRecorder
+	rt := revoke.NewRuntime(revoke.Config{Mode: revoke.Revocation, Tracer: &rec})
+	m := rt.NewMonitor("m")
+	rt.Spawn("a", revoke.NormPriority, func(tk *revoke.Task) {
+		tk.Synchronized(m, func() {})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+}
