@@ -8,12 +8,19 @@
 // Usage:
 //
 //	figures [-figure N|all] [-scale small|medium|paper] [-csv dir] [-summary] [-v]
+//	figures -json results/BENCH_2026-08-05.json [-label NAME]
 //
 // Examples:
 //
 //	figures -figure 5                  # one figure, quick
 //	figures -figure all -scale medium  # the full evaluation
 //	figures -figure all -csv out      # also write CSV files
+//
+// With -json, the wall-clock benchmark suite (barrier/rollback
+// micro-benchmarks plus every Figure 5–8 panel) runs under
+// testing.Benchmark and its ns/op, B/op and allocs/op are APPENDED to the
+// JSON array in the given file — run it before and after a change to record
+// a before/after pair in one results/BENCH_<date>.json.
 package main
 
 import (
@@ -35,8 +42,15 @@ func main() {
 		summary = flag.Bool("summary", true, "print the headline-claims comparison (requires all figures)")
 		verbose = flag.Bool("v", false, "print per-cell progress")
 		cell    = flag.String("cell", "", "run one cell instead: \"HIGH+LOW@WRITES%\", e.g. \"2+8@40\" (uses -figure for the variant)")
+		jsonOut = flag.String("json", "", "append wall-clock benchmark results to this JSON file instead of rendering figures")
+		label   = flag.String("label", "current", "label recorded with -json results")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		runJSONReport(*jsonOut, *label)
+		return
+	}
 
 	sc, err := bench.ParseScale(*scale)
 	if err != nil {
@@ -134,6 +148,31 @@ func runSingleCell(cell, figure string, sc bench.Scale) {
 			vm, res.HighSpan, res.OverallSpan, res.Stats.Rollbacks, res.Stats.Reexecutions,
 			time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runJSONReport runs the wall-clock suite and appends it to path.
+func runJSONReport(path, label string) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	// Fail on a malformed target now, not after minutes of benchmarking.
+	if _, err := bench.LoadReports(path); err != nil {
+		fatal(err)
+	}
+	progress := func(res bench.BenchResult) {
+		fmt.Fprintf(os.Stderr, "  %-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	rep, err := bench.RunReport(label, time.Now().Format("2006-01-02"), progress)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bench.WriteReport(path, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "appended %q (%d benchmarks) to %s\n", label, len(rep.Benchmarks), path)
 }
 
 func fatal(err error) {

@@ -1,0 +1,135 @@
+// Benchmark report emission: cmd/figures -json runs the wall-clock
+// benchmark suite (the Figure 5–8 panels plus the barrier/rollback
+// micro-benchmarks) through testing.Benchmark and appends the results to a
+// JSON file, so results/BENCH_<date>.json files record the performance
+// trajectory of the mechanism across changes.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// BenchResult is one benchmark's wall-clock outcome.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is one labelled run of the suite. Files written by WriteReport hold
+// a JSON array of Reports, oldest first.
+type Report struct {
+	Label      string        `json:"label"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// measure runs one benchmark body under testing.Benchmark.
+func measure(name string, body func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		body(b)
+	})
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// RunReport executes the benchmark suite: the three barrier/rollback
+// micro-benchmarks and all twelve figure panels at ScaleSmall. progress, if
+// non-nil, is called with each finished result.
+func RunReport(label, date string, progress func(BenchResult)) (Report, error) {
+	rep := Report{
+		Label:     label,
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	add := func(res BenchResult) {
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		if progress != nil {
+			progress(res)
+		}
+	}
+	add(measure("WriteBarrier", WriteBarrierBench))
+	add(measure("ReadBarrier", ReadBarrierBench))
+	add(measure("Rollback", RollbackBench))
+
+	var figures []int
+	for n := range Specs {
+		figures = append(figures, n)
+	}
+	sort.Ints(figures)
+	var runErr error
+	for _, n := range figures {
+		for panel, mix := range Mixes {
+			name := fmt.Sprintf("Figure%d/%s_%dhigh%dlow",
+				n, string(rune('A'+panel)), mix.High, mix.Low)
+			num := n
+			pi := panel
+			add(measure(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fig, err := RunFigure(num, ScaleSmall, nil)
+					if err != nil {
+						runErr = err
+						b.Skip(err)
+						return
+					}
+					_ = fig.Panels[pi]
+				}
+			}))
+			if runErr != nil {
+				return rep, runErr
+			}
+		}
+	}
+	return rep, nil
+}
+
+// LoadReports reads the report array in path; a missing file is an empty
+// trajectory. Callers about to run the (slow) suite should call this first
+// so an unwritable target fails before the benchmarks run, not after.
+func LoadReports(path string) ([]Report, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var reports []Report
+	if err := json.Unmarshal(data, &reports); err != nil {
+		return nil, fmt.Errorf("bench: %s exists but is not a report array: %v", path, err)
+	}
+	return reports, nil
+}
+
+// WriteReport appends rep to the JSON array in path (creating the file if
+// absent), so repeated runs against one file accumulate a trajectory.
+func WriteReport(path string, rep Report) error {
+	reports, err := LoadReports(path)
+	if err != nil {
+		return err
+	}
+	reports = append(reports, rep)
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -260,6 +260,11 @@ type Method struct {
 type Class struct {
 	Name   string
 	Fields []Field
+
+	// idx caches FieldIndex lookups; idxLen is the Fields length it was
+	// built for, so appending fields invalidates it.
+	idx    map[string]int
+	idxLen int
 }
 
 // Field declares one object field.
@@ -269,14 +274,20 @@ type Field struct {
 	Init     int64
 }
 
-// FieldIndex resolves a field name.
+// FieldIndex resolves a field name. Lookups are cached; duplicate names
+// resolve to the first occurrence, as with a linear scan.
 func (c *Class) FieldIndex(name string) (int, bool) {
-	for i, f := range c.Fields {
-		if f.Name == name {
-			return i, true
+	if c.idx == nil || c.idxLen != len(c.Fields) {
+		c.idx = make(map[string]int, len(c.Fields))
+		c.idxLen = len(c.Fields)
+		for i, f := range c.Fields {
+			if _, dup := c.idx[f.Name]; !dup {
+				c.idx[f.Name] = i
+			}
 		}
 	}
-	return 0, false
+	i, ok := c.idx[name]
+	return i, ok
 }
 
 // Static declares one global variable.
@@ -300,6 +311,11 @@ type Program struct {
 	Statics []Static
 	Methods []*Method
 	Threads []ThreadDecl
+
+	// staticIdx caches StaticIndex lookups; staticIdxLen is the Statics
+	// length it was built for, so appending statics invalidates it.
+	staticIdx    map[string]int
+	staticIdxLen int
 }
 
 // Class resolves a class by name.
@@ -322,14 +338,20 @@ func (p *Program) Method(name string) (*Method, bool) {
 	return nil, false
 }
 
-// StaticIndex resolves a static by name.
+// StaticIndex resolves a static by name. Lookups are cached; duplicate
+// names resolve to the first occurrence, as with a linear scan.
 func (p *Program) StaticIndex(name string) (int, bool) {
-	for i, s := range p.Statics {
-		if s.Name == name {
-			return i, true
+	if p.staticIdx == nil || p.staticIdxLen != len(p.Statics) {
+		p.staticIdx = make(map[string]int, len(p.Statics))
+		p.staticIdxLen = len(p.Statics)
+		for i, s := range p.Statics {
+			if _, dup := p.staticIdx[s.Name]; !dup {
+				p.staticIdx[s.Name] = i
+			}
 		}
 	}
-	return 0, false
+	i, ok := p.staticIdx[name]
+	return i, ok
 }
 
 // Clone deep-copies the program so the rewriter can transform it without
@@ -344,6 +366,7 @@ func (p *Program) Clone() *Program {
 	for i, c := range p.Classes {
 		cc := *c
 		cc.Fields = append([]Field(nil), c.Fields...)
+		cc.idx = nil // never share a lookup cache with the original
 		q.Classes[i] = &cc
 	}
 	for i, m := range p.Methods {

@@ -357,3 +357,60 @@ func TestOpStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestFieldIndexCacheInvalidation(t *testing.T) {
+	c := &Class{Name: "C", Fields: []Field{{Name: "a"}, {Name: "b"}}}
+	if i, ok := c.FieldIndex("b"); !ok || i != 1 {
+		t.Fatalf("FieldIndex(b) = %d,%v", i, ok)
+	}
+	// Appending a field after the cache is built must invalidate it.
+	c.Fields = append(c.Fields, Field{Name: "c"})
+	if i, ok := c.FieldIndex("c"); !ok || i != 2 {
+		t.Fatalf("FieldIndex(c) after append = %d,%v", i, ok)
+	}
+	if _, ok := c.FieldIndex("missing"); ok {
+		t.Fatal("found missing field")
+	}
+	// Duplicate names resolve to the first occurrence.
+	d := &Class{Name: "D", Fields: []Field{{Name: "x"}, {Name: "x"}}}
+	if i, ok := d.FieldIndex("x"); !ok || i != 0 {
+		t.Fatalf("duplicate FieldIndex(x) = %d,%v; want 0", i, ok)
+	}
+}
+
+func TestStaticIndexCacheInvalidation(t *testing.T) {
+	p := &Program{Statics: []Static{{Name: "a"}, {Name: "b"}}}
+	if i, ok := p.StaticIndex("a"); !ok || i != 0 {
+		t.Fatalf("StaticIndex(a) = %d,%v", i, ok)
+	}
+	p.Statics = append(p.Statics, Static{Name: "c"})
+	if i, ok := p.StaticIndex("c"); !ok || i != 2 {
+		t.Fatalf("StaticIndex(c) after append = %d,%v", i, ok)
+	}
+	if _, ok := p.StaticIndex("missing"); ok {
+		t.Fatal("found missing static")
+	}
+}
+
+func TestCloneDoesNotShareLookupCaches(t *testing.T) {
+	p := &Program{
+		Classes: []*Class{{Name: "C", Fields: []Field{{Name: "a"}}}},
+		Statics: []Static{{Name: "s"}},
+	}
+	// Build both caches, then clone and diverge the clone.
+	p.Classes[0].FieldIndex("a")
+	p.StaticIndex("s")
+	q := p.Clone()
+	q.Classes[0].Fields[0].Name = "renamed"
+	q.Classes[0].idx = nil // renames don't change length; drop the cache
+	if _, ok := q.Classes[0].FieldIndex("a"); ok {
+		t.Fatal("clone resolved the original's field name")
+	}
+	if i, ok := q.Classes[0].FieldIndex("renamed"); !ok || i != 0 {
+		t.Fatalf("clone FieldIndex(renamed) = %d,%v", i, ok)
+	}
+	// The original is untouched.
+	if i, ok := p.Classes[0].FieldIndex("a"); !ok || i != 0 {
+		t.Fatalf("original FieldIndex(a) = %d,%v", i, ok)
+	}
+}

@@ -1,0 +1,30 @@
+// Barrier micro-benchmarks: the §3.1.2 cost model assumes the compiler-
+// injected write barrier is a handful of instructions. These pin the
+// wall-clock cost of the three barrier families' steady state (NoCosts mode
+// so the virtual clock never interferes) and of a full rollback cycle.
+//
+// Run with -benchmem: the steady-state store barrier must report 0 allocs/op
+// (acceptance criterion of the shadow-metadata fast path).
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkWriteBarrier measures the logging store barrier at steady state:
+// a synchronized section cyclically re-writing the same 64 object fields
+// with dependency tracking on. After the first lap every store hits an
+// already-logged, already-registered slot.
+func BenchmarkWriteBarrier(b *testing.B) { bench.WriteBarrierBench(b) }
+
+// BenchmarkReadBarrier measures the dependency-checking read barrier while
+// another thread has speculative writes outstanding, so the §2.2 per-read
+// location check cannot be skipped by the HasForeign fast path.
+func BenchmarkReadBarrier(b *testing.B) { bench.ReadBarrierBench(b) }
+
+// BenchmarkRollback measures one full revocation cycle — request, reverse
+// log replay, monitor handoff — for a section that wrote 100 slots 10 times
+// each (first-write-wins keeps the replay at 100 entries, not 1000).
+func BenchmarkRollback(b *testing.B) { bench.RollbackBench(b) }

@@ -192,6 +192,7 @@ type Stats struct {
 	NonRevocableMarks  int64
 	ContextSwitches    int64
 	BarrierFastPaths   int64 // non-logging stores (outside sections or Unmodified)
+	StoresDeduped      int64 // in-section stores skipped by first-write-wins logging
 }
 
 // Runtime hosts a simulated VM instance.
@@ -209,16 +210,23 @@ type Runtime struct {
 
 	stats          Stats
 	lastDetectScan simtime.Ticks
+
+	// noDedup disables first-write-wins undo logging, forcing one log entry
+	// per store as in the paper's unoptimized barrier. Test-only: the
+	// rollback-equivalence property runs identical programs with and without
+	// dedup and asserts the heaps end identical.
+	noDedup bool
 }
 
 // New creates a runtime with a fresh scheduler and heap.
 func New(cfg Config) *Runtime {
 	cfg.fill()
+	hp := heap.New()
 	rt := &Runtime{
 		cfg:     cfg,
 		sch:     sched.New(cfg.Sched),
-		hp:      heap.New(),
-		spec:    jmm.NewTable(),
+		hp:      hp,
+		spec:    jmm.NewTable(hp),
 		tracer:  cfg.Tracer,
 		tasks:   make(map[int]*Task),
 		objMons: make(map[*heap.Object]*monitor.Monitor),
@@ -307,6 +315,7 @@ func (rt *Runtime) Stats() Stats {
 	for _, t := range rt.tasks {
 		s.EntriesLogged += t.log.Appended()
 		s.EntriesUndone += t.log.Undone()
+		s.StoresDeduped += t.log.Deduped()
 	}
 	return s
 }
@@ -442,16 +451,59 @@ func (t *Task) logging() bool {
 	return t.rt.cfg.Mode == Revocation && len(t.frames) > 0
 }
 
+// sectionMark returns the innermost active frame's log mark — the
+// first-write-wins boundary: a location already logged at or after it needs
+// no new undo entry for any rollback this task can still perform.
+func (t *Task) sectionMark() undo.Mark {
+	return t.frames[len(t.frames)-1].logMark
+}
+
+// chargeLogEntry charges the write-barrier slow path (one appended undo
+// entry); deduped stores skip it, which is the §3.1.2 cost the dedup saves.
+func (t *Task) chargeLogEntry() {
+	if !t.rt.cfg.NoCosts {
+		t.th.Advance(t.rt.cfg.CostLogEntry)
+	}
+}
+
+// logObjectStore logs the pre-store value of (o, idx), deduped unless the
+// runtime's test-only noDedup knob is set; it reports whether an entry was
+// appended.
+func (t *Task) logObjectStore(o *heap.Object, idx int) bool {
+	if t.rt.noDedup {
+		t.log.LogObject(o, idx, o.Get(idx))
+		return true
+	}
+	return t.log.LogObjectOnce(o, idx, o.Get(idx), t.sectionMark())
+}
+
+// logArrayStore is logObjectStore for array elements.
+func (t *Task) logArrayStore(a *heap.Array, idx int) bool {
+	if t.rt.noDedup {
+		t.log.LogArray(a, idx, a.Get(idx))
+		return true
+	}
+	return t.log.LogArrayOnce(a, idx, a.Get(idx), t.sectionMark())
+}
+
+// logStaticStore is logObjectStore for static variables.
+func (t *Task) logStaticStore(idx int) bool {
+	if t.rt.noDedup {
+		t.log.LogStatic(idx, t.rt.hp.GetStatic(idx))
+		return true
+	}
+	return t.log.LogStaticOnce(t.rt.hp, idx, t.rt.hp.GetStatic(idx), t.sectionMark())
+}
+
 // WriteField stores v into field idx of o through the write barrier.
 func (t *Task) WriteField(o *heap.Object, idx int, v heap.Word) {
 	t.step(t.rt.cfg.CostWrite)
 	if t.logging() {
-		t.log.LogObject(o, idx, o.Get(idx))
-		if !t.rt.cfg.NoCosts {
-			t.th.Advance(t.rt.cfg.CostLogEntry)
-		}
-		if t.rt.cfg.TrackDependencies {
-			t.rt.spec.RegisterWrite(undo.Loc{Kind: heap.KindObject, ID: o.ID(), Idx: idx}, t.spanRef())
+		if t.logObjectStore(o, idx) {
+			t.chargeLogEntry()
+			if t.rt.cfg.TrackDependencies {
+				t.rt.spec.RegisterObject(o, idx, t.spanRef())
+			}
 		}
 	} else {
 		t.rt.stats.BarrierFastPaths++
@@ -466,7 +518,7 @@ func (t *Task) WriteField(o *heap.Object, idx int, v heap.Word) {
 func (t *Task) ReadField(o *heap.Object, idx int) heap.Word {
 	t.step(t.rt.cfg.CostRead)
 	if t.rt.cfg.TrackDependencies && t.rt.spec.HasForeign(t.th.ID()) {
-		t.checkDependency(undo.Loc{Kind: heap.KindObject, ID: o.ID(), Idx: idx})
+		t.dependencyHit(t.rt.spec.CheckReadObject(o, idx, t.th.ID()))
 	}
 	if o.IsVolatile(idx) {
 		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.VolatileRead, Thread: t.Name(), Object: o.String(), Detail: o.FieldName(idx)})
@@ -478,12 +530,11 @@ func (t *Task) ReadField(o *heap.Object, idx int) heap.Word {
 func (t *Task) WriteElem(a *heap.Array, idx int, v heap.Word) {
 	t.step(t.rt.cfg.CostWrite)
 	if t.logging() {
-		t.log.LogArray(a, idx, a.Get(idx))
-		if !t.rt.cfg.NoCosts {
-			t.th.Advance(t.rt.cfg.CostLogEntry)
-		}
-		if t.rt.cfg.TrackDependencies {
-			t.rt.spec.RegisterWrite(undo.Loc{Kind: heap.KindArray, ID: a.ID(), Idx: idx}, t.spanRef())
+		if t.logArrayStore(a, idx) {
+			t.chargeLogEntry()
+			if t.rt.cfg.TrackDependencies {
+				t.rt.spec.RegisterArray(a, idx, t.spanRef())
+			}
 		}
 	} else {
 		t.rt.stats.BarrierFastPaths++
@@ -495,7 +546,7 @@ func (t *Task) WriteElem(a *heap.Array, idx int, v heap.Word) {
 func (t *Task) ReadElem(a *heap.Array, idx int) heap.Word {
 	t.step(t.rt.cfg.CostRead)
 	if t.rt.cfg.TrackDependencies && t.rt.spec.HasForeign(t.th.ID()) {
-		t.checkDependency(undo.Loc{Kind: heap.KindArray, ID: a.ID(), Idx: idx})
+		t.dependencyHit(t.rt.spec.CheckReadArray(a, idx, t.th.ID()))
 	}
 	return a.Get(idx)
 }
@@ -504,12 +555,11 @@ func (t *Task) ReadElem(a *heap.Array, idx int) heap.Word {
 func (t *Task) WriteStatic(idx int, v heap.Word) {
 	t.step(t.rt.cfg.CostWrite)
 	if t.logging() {
-		t.log.LogStatic(idx, t.rt.hp.GetStatic(idx))
-		if !t.rt.cfg.NoCosts {
-			t.th.Advance(t.rt.cfg.CostLogEntry)
-		}
-		if t.rt.cfg.TrackDependencies {
-			t.rt.spec.RegisterWrite(undo.Loc{Kind: heap.KindStatic, Idx: idx}, t.spanRef())
+		if t.logStaticStore(idx) {
+			t.chargeLogEntry()
+			if t.rt.cfg.TrackDependencies {
+				t.rt.spec.RegisterStatic(idx, t.spanRef())
+			}
 		}
 	} else {
 		t.rt.stats.BarrierFastPaths++
@@ -524,7 +574,7 @@ func (t *Task) WriteStatic(idx int, v heap.Word) {
 func (t *Task) ReadStatic(idx int) heap.Word {
 	t.step(t.rt.cfg.CostRead)
 	if t.rt.cfg.TrackDependencies && t.rt.spec.HasForeign(t.th.ID()) {
-		t.checkDependency(undo.Loc{Kind: heap.KindStatic, Idx: idx})
+		t.dependencyHit(t.rt.spec.CheckReadStatic(idx, t.th.ID()))
 	}
 	if t.rt.hp.IsStaticVolatile(idx) {
 		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.VolatileRead, Thread: t.Name(), Object: t.rt.hp.StaticName(idx)})
@@ -532,11 +582,9 @@ func (t *Task) ReadStatic(idx int) heap.Word {
 	return t.rt.hp.GetStatic(idx)
 }
 
-// checkDependency handles a read of a location that may hold a speculative
-// value written by another thread: if so, the writer's active monitors
-// become non-revocable (§2.2).
-func (t *Task) checkDependency(loc undo.Loc) {
-	ref, hit := t.rt.spec.CheckRead(loc, t.th.ID())
+// dependencyHit handles the result of a read-barrier location check: on a
+// hit, the writer's active monitors become non-revocable (§2.2).
+func (t *Task) dependencyHit(ref jmm.SpanRef, hit bool) {
 	if !hit {
 		return
 	}

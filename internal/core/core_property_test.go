@@ -252,3 +252,134 @@ func TestRevocationUnderPrioritySchedulerProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDedupRollbackEquivalenceProperty runs identical randomized
+// revocation-heavy programs twice — once with first-write-wins undo dedup
+// (the production barrier) and once with the test-only noDedup knob forcing
+// one log entry per store — and asserts the heap snapshots observed
+// immediately after each rollback, and at program end, are identical. This
+// is the §3.1.2 guarantee ("as if the low-priority thread never executed
+// the section") carried from the undo-layer property up through the full
+// revocation machinery.
+func TestDedupRollbackEquivalenceProperty(t *testing.T) {
+	var dedupTotal, rollbackTotal int64
+	prop := func(seed int64) bool {
+		type result struct {
+			post  []heap.Snapshot // heap as seen right after each rollback
+			final heap.Snapshot
+			st    Stats
+			err   error
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const rounds, slots = 3, 4
+		writes := 10 + rng.Intn(50)
+		kinds := make([]int, writes)
+		idxs := make([]int, writes)
+		for i := range kinds {
+			kinds[i] = rng.Intn(3)
+			idxs[i] = rng.Intn(slots)
+		}
+		run := func(noDedup bool) result {
+			rt := New(Config{
+				Mode: Revocation, NoCosts: true, TrackDependencies: true,
+				Sched: sched.Config{Quantum: 1 << 40, Seed: seed},
+			})
+			rt.noDedup = noDedup
+			h := rt.Heap()
+			o := h.AllocPlain("o", slots)
+			a := h.AllocArray(slots)
+			s := h.DefineStatic("s", false, 0)
+			m := rt.NewMonitor("m")
+			var res result
+			ready, handled := false, false
+			rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+				for r := 0; r < rounds; r++ {
+					attempt := 0
+					handled = false
+					tk.Synchronized(m, func() {
+						attempt++
+						for i := 0; i < writes; i++ {
+							// Re-executions write different values, so an
+							// incomplete rollback leaves distinguishable
+							// first-attempt residue.
+							v := heap.Word(r*10000 + attempt*1000 + i)
+							switch kinds[i] {
+							case 0:
+								tk.WriteField(o, idxs[i], v)
+							case 1:
+								tk.WriteElem(a, idxs[i], v)
+							default:
+								tk.WriteStatic(s, v)
+							}
+						}
+						if attempt == 1 {
+							// Park until revoked by the high thread.
+							ready = true
+							for !handled {
+								tk.Thread().Yield()
+								tk.YieldPoint()
+							}
+						}
+					})
+				}
+			})
+			rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+				for r := 0; r < rounds; r++ {
+					for !ready {
+						tk.Thread().Yield()
+					}
+					ready = false
+					tk.Synchronized(m, func() {
+						res.post = append(res.post, h.Snapshot())
+						handled = true
+					})
+				}
+			})
+			res.err = rt.Run()
+			res.final = h.Snapshot()
+			res.st = rt.Stats()
+			return res
+		}
+		dd := run(false)
+		nd := run(true)
+		if dd.err != nil || nd.err != nil {
+			t.Logf("seed %d: errs %v / %v", seed, dd.err, nd.err)
+			return false
+		}
+		if len(dd.post) != rounds || len(nd.post) != rounds {
+			return false
+		}
+		for i := range dd.post {
+			if !dd.post[i].Equal(nd.post[i]) {
+				t.Logf("seed %d round %d: post-rollback snapshots differ:\n%s",
+					seed, i, dd.post[i].Diff(nd.post[i]))
+				return false
+			}
+		}
+		if !dd.final.Equal(nd.final) {
+			t.Logf("seed %d: final snapshots differ:\n%s", seed, dd.final.Diff(nd.final))
+			return false
+		}
+		if nd.st.StoresDeduped != 0 {
+			return false
+		}
+		if dd.st.EntriesLogged > nd.st.EntriesLogged {
+			return false
+		}
+		if dd.st.Rollbacks != rounds || nd.st.Rollbacks != rounds {
+			return false
+		}
+		dedupTotal += dd.st.StoresDeduped
+		rollbackTotal += dd.st.Rollbacks
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if dedupTotal == 0 {
+		t.Fatal("dedup path never exercised across any seed")
+	}
+	if rollbackTotal == 0 {
+		t.Fatal("no rollbacks exercised across any seed")
+	}
+}

@@ -39,6 +39,29 @@ func (k Kind) String() string {
 	}
 }
 
+// ShadowSlot is the per-slot metadata word the runtime layers stamp instead
+// of keying global maps by location (the "inline metadata" move of Compact
+// Java Monitors, applied to speculation state). Two independent layers
+// share it:
+//
+//   - the jmm layer records the speculative owner of the slot's current
+//     value (OwnerThread/OwnerGen, validated against OwnerEra so a
+//     terminated thread's stamps expire in O(1));
+//   - the undo layer records its first-write-wins stamp (LogID/LogEpoch/
+//     LogPos), letting a repeated store inside one synchronized section
+//     skip re-logging.
+//
+// The zero value means "no owner, never logged": eras, log ids and log
+// epochs all start at 1 so a zeroed slot can never alias a live stamp.
+type ShadowSlot struct {
+	OwnerThread int
+	OwnerGen    uint64
+	OwnerEra    uint64
+	LogID       uint64
+	LogEpoch    uint64
+	LogPos      int
+}
+
 // Object is a heap object: a fixed set of named slots, some possibly
 // volatile. Every Object can act as a monitor in the runtime layer, exactly
 // as in Java; the monitor itself lives in internal/monitor.
@@ -48,6 +71,8 @@ type Object struct {
 	fields   []Word
 	names    []string
 	volatile []bool
+	shadow   []ShadowSlot
+	nameIdx  map[string]int
 }
 
 // ID returns the heap-unique object id.
@@ -67,14 +92,29 @@ func (o *Object) FieldName(i int) string {
 	return fmt.Sprintf("f%d", i)
 }
 
-// FieldIndex resolves a field name to its slot index.
+// FieldIndex resolves a field name to its slot index. The name table is
+// indexed lazily on first use; field sets are fixed at allocation, so the
+// index never goes stale.
 func (o *Object) FieldIndex(name string) (int, bool) {
-	for i, n := range o.names {
-		if n == name {
-			return i, true
+	if o.nameIdx == nil {
+		o.nameIdx = make(map[string]int, len(o.names))
+		for i, n := range o.names {
+			if _, dup := o.nameIdx[n]; n != "" && !dup {
+				o.nameIdx[n] = i
+			}
 		}
 	}
-	return 0, false
+	i, ok := o.nameIdx[name]
+	return i, ok
+}
+
+// Shadow returns the slot's shadow metadata, allocating the object's shadow
+// array on first use (steady-state barriers then index it directly).
+func (o *Object) Shadow(i int) *ShadowSlot {
+	if o.shadow == nil {
+		o.shadow = make([]ShadowSlot, len(o.fields))
+	}
+	return &o.shadow[i]
 }
 
 // IsVolatile reports whether slot i was declared volatile.
@@ -93,8 +133,9 @@ func (o *Object) String() string { return fmt.Sprintf("%s#%d", o.class, o.id) }
 
 // Array is a heap array of words.
 type Array struct {
-	id    uint64
-	elems []Word
+	id     uint64
+	elems  []Word
+	shadow []ShadowSlot
 }
 
 // ID returns the heap-unique array id.
@@ -109,6 +150,15 @@ func (a *Array) Get(i int) Word { return a.elems[i] }
 // Set writes element i with no barrier.
 func (a *Array) Set(i int, v Word) { a.elems[i] = v }
 
+// Shadow returns the element's shadow metadata, allocating the array's
+// shadow on first use.
+func (a *Array) Shadow(i int) *ShadowSlot {
+	if a.shadow == nil {
+		a.shadow = make([]ShadowSlot, len(a.elems))
+	}
+	return &a.shadow[i]
+}
+
 // String renders the array as array#id[len].
 func (a *Array) String() string { return fmt.Sprintf("array#%d[%d]", a.id, len(a.elems)) }
 
@@ -121,17 +171,25 @@ type FieldSpec struct {
 
 // Heap owns all objects, arrays and the static table.
 type Heap struct {
-	nextID      uint64
-	objects     []*Object
-	arrays      []*Array
-	statics     []Word
-	staticNames []string
-	staticVol   []bool
+	nextID  uint64
+	objects []*Object
+	arrays  []*Array
+	// objByID/arrByID are dense id→value tables (ids come from the shared
+	// counter, so every id in [1, nextID) is exactly one of the two kinds;
+	// the other table holds nil at that index).
+	objByID      []*Object
+	arrByID      []*Array
+	statics      []Word
+	staticNames  []string
+	staticVol    []bool
+	staticShadow []ShadowSlot
+	staticIdx    map[string]int
 }
 
 // New returns an empty heap.
 func New() *Heap {
-	return &Heap{nextID: 1}
+	// Index 0 of the dense tables is a permanent nil: ids start at 1.
+	return &Heap{nextID: 1, objByID: make([]*Object, 1), arrByID: make([]*Array, 1)}
 }
 
 // AllocObject allocates an object of the given class with the given fields.
@@ -150,6 +208,8 @@ func (h *Heap) AllocObject(class string, fields ...FieldSpec) *Object {
 		o.volatile[i] = f.Volatile
 	}
 	h.objects = append(h.objects, o)
+	h.objByID = append(h.objByID, o)
+	h.arrByID = append(h.arrByID, nil)
 	return o
 }
 
@@ -164,6 +224,8 @@ func (h *Heap) AllocPlain(class string, n int) *Object {
 	}
 	h.nextID++
 	h.objects = append(h.objects, o)
+	h.objByID = append(h.objByID, o)
+	h.arrByID = append(h.arrByID, nil)
 	return o
 }
 
@@ -172,6 +234,8 @@ func (h *Heap) AllocArray(n int) *Array {
 	a := &Array{id: h.nextID, elems: make([]Word, n)}
 	h.nextID++
 	h.arrays = append(h.arrays, a)
+	h.arrByID = append(h.arrByID, a)
+	h.objByID = append(h.objByID, nil)
 	return a
 }
 
@@ -181,17 +245,38 @@ func (h *Heap) DefineStatic(name string, volatile bool, init Word) int {
 	h.statics = append(h.statics, init)
 	h.staticNames = append(h.staticNames, name)
 	h.staticVol = append(h.staticVol, volatile)
+	if h.staticIdx != nil {
+		if _, dup := h.staticIdx[name]; !dup {
+			h.staticIdx[name] = len(h.statics) - 1
+		}
+	}
 	return len(h.statics) - 1
 }
 
-// StaticIndex resolves a static name to its offset.
+// StaticIndex resolves a static name to its offset. The name table is
+// indexed lazily on first use and kept current by DefineStatic.
 func (h *Heap) StaticIndex(name string) (int, bool) {
-	for i, n := range h.staticNames {
-		if n == name {
-			return i, true
+	if h.staticIdx == nil {
+		h.staticIdx = make(map[string]int, len(h.staticNames))
+		for i, n := range h.staticNames {
+			if _, dup := h.staticIdx[n]; !dup {
+				h.staticIdx[n] = i
+			}
 		}
 	}
-	return 0, false
+	i, ok := h.staticIdx[name]
+	return i, ok
+}
+
+// StaticShadow returns the shadow metadata of static offset i, allocating
+// (or growing, if statics were defined since) the shadow table on demand.
+func (h *Heap) StaticShadow(i int) *ShadowSlot {
+	if i >= len(h.staticShadow) {
+		grown := make([]ShadowSlot, len(h.statics))
+		copy(grown, h.staticShadow)
+		h.staticShadow = grown
+	}
+	return &h.staticShadow[i]
 }
 
 // StaticName returns the declared name of static offset i.
@@ -216,22 +301,19 @@ func (h *Heap) Objects() []*Object { return h.objects }
 func (h *Heap) Arrays() []*Array { return h.arrays }
 
 // Object resolves an object id (nil if unknown). Ids are assigned from a
-// single counter shared with arrays, so not every id in range is an object.
+// single counter shared with arrays, so not every id in range is an object;
+// the dense table holds nil at array ids.
 func (h *Heap) Object(id uint64) *Object {
-	for _, o := range h.objects {
-		if o.id == id {
-			return o
-		}
+	if id < uint64(len(h.objByID)) {
+		return h.objByID[id]
 	}
 	return nil
 }
 
 // Array resolves an array id (nil if unknown).
 func (h *Heap) Array(id uint64) *Array {
-	for _, a := range h.arrays {
-		if a.id == id {
-			return a
-		}
+	if id < uint64(len(h.arrByID)) {
+		return h.arrByID[id]
 	}
 	return nil
 }

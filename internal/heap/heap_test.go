@@ -215,3 +215,113 @@ func TestSnapshotProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShadowLazyAndStable(t *testing.T) {
+	h := New()
+	o := h.AllocPlain("C", 3)
+	a := h.AllocArray(3)
+	s1 := o.Shadow(1)
+	if s1.OwnerEra != 0 || s1.LogID != 0 {
+		t.Fatal("fresh shadow slot not zeroed")
+	}
+	s1.OwnerThread = 7
+	if o.Shadow(1) != s1 || o.Shadow(1).OwnerThread != 7 {
+		t.Fatal("Shadow not stable across calls")
+	}
+	as := a.Shadow(2)
+	as.LogPos = 5
+	if a.Shadow(2) != as {
+		t.Fatal("array Shadow not stable across calls")
+	}
+}
+
+func TestStaticShadowGrows(t *testing.T) {
+	h := New()
+	i := h.DefineStatic("a", false, 0)
+	si := h.StaticShadow(i)
+	si.LogPos = 42
+	j := h.DefineStatic("b", false, 0)
+	sj := h.StaticShadow(j)
+	if sj.LogPos != 0 {
+		t.Fatal("grown shadow slot not zeroed")
+	}
+	// Growth must preserve existing stamps (pointer identity may change,
+	// but contents must carry over).
+	if h.StaticShadow(i).LogPos != 42 {
+		t.Fatal("growth lost existing stamp")
+	}
+}
+
+func TestStaticIndexStaysCurrentAfterDefine(t *testing.T) {
+	h := New()
+	h.DefineStatic("a", false, 0)
+	if i, ok := h.StaticIndex("a"); !ok || i != 0 {
+		t.Fatalf("StaticIndex(a) = %d,%v", i, ok)
+	}
+	// Defining after the index is built must update it incrementally.
+	j := h.DefineStatic("b", false, 0)
+	if k, ok := h.StaticIndex("b"); !ok || k != j {
+		t.Fatalf("StaticIndex(b) = %d,%v; want %d,true", k, ok, j)
+	}
+}
+
+func TestNameIndexFirstMatch(t *testing.T) {
+	h := New()
+	// Duplicate names must resolve to the first occurrence, matching the
+	// original linear-scan semantics.
+	o := h.AllocObject("C", FieldSpec{Name: "x"}, FieldSpec{Name: "x"})
+	if i, ok := o.FieldIndex("x"); !ok || i != 0 {
+		t.Fatalf("FieldIndex(x) = %d,%v; want 0,true", i, ok)
+	}
+	h.DefineStatic("s", false, 1)
+	h.DefineStatic("s", false, 2)
+	if i, ok := h.StaticIndex("s"); !ok || i != 0 {
+		t.Fatalf("StaticIndex(s) = %d,%v; want 0,true", i, ok)
+	}
+	// Same with the index built before the duplicate is defined.
+	h2 := New()
+	h2.DefineStatic("t", false, 1)
+	h2.StaticIndex("t")
+	h2.DefineStatic("t", false, 2)
+	if i, ok := h2.StaticIndex("t"); !ok || i != 0 {
+		t.Fatalf("StaticIndex(t) = %d,%v; want 0,true", i, ok)
+	}
+	if _, ok := o.FieldIndex(""); ok {
+		t.Fatal("empty name resolved")
+	}
+}
+
+func TestDenseLookupInterleaved(t *testing.T) {
+	h := New()
+	var objs []*Object
+	var arrs []*Array
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			objs = append(objs, h.AllocPlain("C", 1))
+		} else {
+			arrs = append(arrs, h.AllocArray(1))
+		}
+	}
+	for _, o := range objs {
+		if h.Object(o.ID()) != o {
+			t.Fatalf("Object(%d) lookup failed", o.ID())
+		}
+		if h.Array(o.ID()) != nil {
+			t.Fatalf("Array(%d) returned non-nil for object id", o.ID())
+		}
+	}
+	for _, a := range arrs {
+		if h.Array(a.ID()) != a {
+			t.Fatalf("Array(%d) lookup failed", a.ID())
+		}
+		if h.Object(a.ID()) != nil {
+			t.Fatalf("Object(%d) returned non-nil for array id", a.ID())
+		}
+	}
+	if h.Object(0) != nil || h.Array(0) != nil {
+		t.Fatal("id 0 resolved")
+	}
+	if h.Object(1000) != nil || h.Array(1000) != nil {
+		t.Fatal("out-of-range id resolved")
+	}
+}

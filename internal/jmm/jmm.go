@@ -12,17 +12,38 @@
 // same rule; their reads establish happens-before edges even without any
 // monitor (Figure 3).
 //
-// The structure is a single table mapping location → owning thread span. A
-// fast path avoids the table entirely when no thread other than the reader
-// has speculative writes outstanding, which is the common case the paper's
-// benchmark exercises (all accesses guarded by the same monitor).
+// Representation: ownership lives *inline* with the data, in the per-slot
+// heap.ShadowSlot next to each field/element/static — no global map, no
+// hashing, no allocation on the barrier path (the Compact-Java-Monitors
+// move applied to speculation metadata). The Table keeps only O(threads)
+// counters: per-thread live-slot counts for the HasForeign fast path, and
+// per-thread "eras" so DropThread can expire every stamp a terminated
+// thread left behind in O(1) instead of sweeping the heap. A slot's stamp
+// is live iff its recorded era equals the owning thread's current era in
+// this table; eras are drawn from a process-global counter, so stamps
+// written through one Table can never be mistaken for live state by
+// another.
+//
+// A fast path avoids the per-slot check entirely when no thread other than
+// the reader has speculative writes outstanding, which is the common case
+// the paper's benchmark exercises (all accesses guarded by the same
+// monitor).
 package jmm
 
-import "repro/internal/undo"
+import (
+	"sync/atomic"
+
+	"repro/internal/heap"
+	"repro/internal/undo"
+)
+
+// nextEra hands out globally unique era values; 0 is reserved so a zeroed
+// ShadowSlot is always stale.
+var nextEra uint64
 
 // SpanRef identifies one activation of a thread's outermost synchronized
 // section. Gen increments every time the thread enters an outermost
-// section, so stale table entries can never be confused with a newer span.
+// section, so stale slot stamps can never be confused with a newer span.
 type SpanRef struct {
 	Thread int
 	Gen    uint64
@@ -31,11 +52,13 @@ type SpanRef struct {
 // Table tracks speculative writes across all threads. It is not safe for
 // concurrent use; the uniprocessor scheduler serializes access.
 type Table struct {
-	writes map[undo.Loc]SpanRef
+	h *heap.Heap
 
-	// perThread counts live table entries per thread id, so Foreign can
-	// answer "does anyone but me have speculative writes?" in O(1).
-	perThread map[int]int
+	// perThread[t] counts live speculative slots owned by thread t, so
+	// HasForeign can answer "does anyone but me have speculative writes?"
+	// in O(1). eras[t] is thread t's current stamp era.
+	perThread []int
+	eras      []uint64
 	total     int
 
 	// deps counts dependencies detected (reads of foreign speculative
@@ -43,64 +66,170 @@ type Table struct {
 	deps int64
 }
 
-// NewTable returns an empty speculation table.
-func NewTable() *Table {
-	return &Table{
-		writes:    make(map[undo.Loc]SpanRef),
-		perThread: make(map[int]int),
-	}
+// NewTable returns an empty speculation table over h's shadow slots.
+func NewTable(h *heap.Heap) *Table {
+	return &Table{h: h}
 }
 
-// RegisterWrite records that loc now holds a speculative value owned by
-// ref. A location already owned by the same thread is re-stamped with the
-// newer generation; a location owned by a different thread is taken over
-// (the previous owner's section must already have committed or the program
-// has a racy double-write, which the conservative takeover handles safely).
-func (t *Table) RegisterWrite(loc undo.Loc, ref SpanRef) {
-	if prev, ok := t.writes[loc]; ok {
-		if prev.Thread == ref.Thread {
-			t.writes[loc] = ref
+// era returns thread's current era, assigning a fresh one on first use and
+// growing the per-thread slices as needed.
+func (t *Table) era(thread int) uint64 {
+	for thread >= len(t.eras) {
+		t.eras = append(t.eras, 0)
+		t.perThread = append(t.perThread, 0)
+	}
+	if t.eras[thread] == 0 {
+		t.eras[thread] = atomic.AddUint64(&nextEra, 1)
+	}
+	return t.eras[thread]
+}
+
+// live reports whether s carries a current ownership stamp of this table.
+func (t *Table) live(s *heap.ShadowSlot) bool {
+	return s.OwnerEra != 0 && s.OwnerThread < len(t.eras) && t.eras[s.OwnerThread] == s.OwnerEra
+}
+
+// registerSlot records that s now holds a speculative value owned by ref. A
+// slot already owned by the same thread is re-stamped with the newer
+// generation; a slot owned by a different thread is taken over (the
+// previous owner's section must already have committed or the program has a
+// racy double-write, which the conservative takeover handles safely).
+func (t *Table) registerSlot(s *heap.ShadowSlot, ref SpanRef) {
+	era := t.era(ref.Thread)
+	if t.live(s) {
+		if s.OwnerThread == ref.Thread {
+			s.OwnerGen = ref.Gen
 			return
 		}
-		t.perThread[prev.Thread]--
+		t.perThread[s.OwnerThread]--
 		t.total--
 	}
-	t.writes[loc] = ref
+	s.OwnerThread = ref.Thread
+	s.OwnerGen = ref.Gen
+	s.OwnerEra = era
 	t.perThread[ref.Thread]++
 	t.total++
 }
 
-// Unregister removes loc from the table if it is still owned by the given
-// thread. Called for every log entry when a section commits or rolls back.
-func (t *Table) Unregister(loc undo.Loc, thread int) {
-	if prev, ok := t.writes[loc]; ok && prev.Thread == thread {
-		delete(t.writes, loc)
+// unregisterSlot clears s if it is still owned by the given thread. Called
+// for every log entry when a section commits or rolls back.
+func (t *Table) unregisterSlot(s *heap.ShadowSlot, thread int) {
+	if t.live(s) && s.OwnerThread == thread {
+		s.OwnerEra = 0
 		t.perThread[thread]--
 		t.total--
 	}
 }
 
+// checkSlot reports the owning span if s holds a speculative value written
+// by a thread other than reader.
+func (t *Table) checkSlot(s *heap.ShadowSlot, reader int) (SpanRef, bool) {
+	if !t.live(s) || s.OwnerThread == reader {
+		return SpanRef{}, false
+	}
+	t.deps++
+	return SpanRef{Thread: s.OwnerThread, Gen: s.OwnerGen}, true
+}
+
+// ---------------------------------------------------------------------------
+// Pointer fast paths: the barriers in internal/core hold the object/array
+// pointer already, so registration and the read check are a direct shadow-
+// slice index.
+
+// RegisterObject marks object field (o, idx) speculative, owned by ref.
+func (t *Table) RegisterObject(o *heap.Object, idx int, ref SpanRef) {
+	t.registerSlot(o.Shadow(idx), ref)
+}
+
+// RegisterArray marks array element (a, idx) speculative, owned by ref.
+func (t *Table) RegisterArray(a *heap.Array, idx int, ref SpanRef) {
+	t.registerSlot(a.Shadow(idx), ref)
+}
+
+// RegisterStatic marks static offset idx speculative, owned by ref.
+func (t *Table) RegisterStatic(idx int, ref SpanRef) {
+	t.registerSlot(t.h.StaticShadow(idx), ref)
+}
+
+// CheckReadObject is CheckRead for an already-resolved object field. A hit
+// means a read-write dependency has just been created and the owner's
+// active monitors must be marked non-revocable.
+func (t *Table) CheckReadObject(o *heap.Object, idx, reader int) (SpanRef, bool) {
+	return t.checkSlot(o.Shadow(idx), reader)
+}
+
+// CheckReadArray is CheckRead for an already-resolved array element.
+func (t *Table) CheckReadArray(a *heap.Array, idx, reader int) (SpanRef, bool) {
+	return t.checkSlot(a.Shadow(idx), reader)
+}
+
+// CheckReadStatic is CheckRead for a static offset.
+func (t *Table) CheckReadStatic(idx, reader int) (SpanRef, bool) {
+	return t.checkSlot(t.h.StaticShadow(idx), reader)
+}
+
+// ---------------------------------------------------------------------------
+// Loc-based API, preserved for log-driven unregistration and external
+// callers. Resolution is O(1) through the heap's dense id tables.
+
+// slot resolves loc to its shadow slot, nil when the id or index is unknown
+// to the heap (stale or foreign-kind locs are tolerated, as before).
+func (t *Table) slot(loc undo.Loc) *heap.ShadowSlot {
+	switch loc.Kind {
+	case heap.KindObject:
+		if o := t.h.Object(loc.ID); o != nil && loc.Idx >= 0 && loc.Idx < o.NumFields() {
+			return o.Shadow(loc.Idx)
+		}
+	case heap.KindArray:
+		if a := t.h.Array(loc.ID); a != nil && loc.Idx >= 0 && loc.Idx < a.Len() {
+			return a.Shadow(loc.Idx)
+		}
+	default:
+		if loc.Idx >= 0 && loc.Idx < t.h.NumStatics() {
+			return t.h.StaticShadow(loc.Idx)
+		}
+	}
+	return nil
+}
+
+// RegisterWrite records that loc now holds a speculative value owned by
+// ref. Locations unknown to the heap are ignored.
+func (t *Table) RegisterWrite(loc undo.Loc, ref SpanRef) {
+	if s := t.slot(loc); s != nil {
+		t.registerSlot(s, ref)
+	}
+}
+
+// Unregister removes loc from speculation if it is still owned by the given
+// thread. Called for every log entry when a section commits or rolls back.
+func (t *Table) Unregister(loc undo.Loc, thread int) {
+	if s := t.slot(loc); s != nil {
+		t.unregisterSlot(s, thread)
+	}
+}
+
+// CheckRead reports the owning span if loc holds a speculative value
+// written by a thread other than reader.
+func (t *Table) CheckRead(loc undo.Loc, reader int) (SpanRef, bool) {
+	if s := t.slot(loc); s != nil {
+		return t.checkSlot(s, reader)
+	}
+	return SpanRef{}, false
+}
+
+// ---------------------------------------------------------------------------
+
 // HasForeign reports whether any thread other than reader has speculative
 // writes outstanding. When false, no read by reader can create a dependency
-// and the table lookup can be skipped entirely.
+// and the per-slot check can be skipped entirely.
 func (t *Table) HasForeign(reader int) bool {
 	if t.total == 0 {
 		return false
 	}
-	return t.total > t.perThread[reader]
-}
-
-// CheckRead reports the owning span if loc holds a speculative value
-// written by a thread other than reader. A hit means a read-write
-// dependency has just been created and the owner's active monitors must be
-// marked non-revocable.
-func (t *Table) CheckRead(loc undo.Loc, reader int) (SpanRef, bool) {
-	ref, ok := t.writes[loc]
-	if !ok || ref.Thread == reader {
-		return SpanRef{}, false
+	if reader >= 0 && reader < len(t.perThread) {
+		return t.total > t.perThread[reader]
 	}
-	t.deps++
-	return ref, true
+	return true
 }
 
 // Entries returns the number of live speculative locations.
@@ -110,17 +239,18 @@ func (t *Table) Entries() int { return t.total }
 // dependencies.
 func (t *Table) Dependencies() int64 { return t.deps }
 
-// DropThread removes every entry owned by the given thread, regardless of
-// generation. Used when a thread terminates with sections force-committed.
+// DropThread expires every stamp owned by the given thread, regardless of
+// generation, by retiring the thread's era — O(1), no heap sweep. Used when
+// a thread terminates with sections force-committed.
 func (t *Table) DropThread(thread int) {
-	if t.perThread[thread] == 0 {
+	if thread < 0 || thread >= len(t.perThread) {
 		return
 	}
-	for loc, ref := range t.writes {
-		if ref.Thread == thread {
-			delete(t.writes, loc)
-			t.total--
-		}
+	if t.perThread[thread] != 0 {
+		t.total -= t.perThread[thread]
+		t.perThread[thread] = 0
 	}
-	t.perThread[thread] = 0
+	if t.eras[thread] != 0 {
+		t.eras[thread] = atomic.AddUint64(&nextEra, 1)
+	}
 }

@@ -8,12 +8,20 @@ import (
 	"repro/internal/undo"
 )
 
+// newTestTable builds a table over a heap holding one 16-field object with
+// id 1, so loc(0..15) resolves to a shadow slot.
+func newTestTable() (*Table, *heap.Object) {
+	h := heap.New()
+	o := h.AllocPlain("C", 16)
+	return NewTable(h), o
+}
+
 func loc(i int) undo.Loc {
 	return undo.Loc{Kind: heap.KindObject, ID: 1, Idx: i}
 }
 
 func TestRegisterAndCheckForeignRead(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 7})
 	ref, hit := tb.CheckRead(loc(0), 2)
 	if !hit {
@@ -28,7 +36,7 @@ func TestRegisterAndCheckForeignRead(t *testing.T) {
 }
 
 func TestOwnReadIsNotADependency(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
 	if _, hit := tb.CheckRead(loc(0), 1); hit {
 		t.Fatal("own read flagged as dependency")
@@ -39,14 +47,25 @@ func TestOwnReadIsNotADependency(t *testing.T) {
 }
 
 func TestUnknownLocationMisses(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	if _, hit := tb.CheckRead(loc(9), 2); hit {
 		t.Fatal("phantom hit")
+	}
+	// Locations outside the heap are tolerated and never hit.
+	if _, hit := tb.CheckRead(undo.Loc{Kind: heap.KindObject, ID: 99, Idx: 0}, 2); hit {
+		t.Fatal("phantom hit on unknown object")
+	}
+	if _, hit := tb.CheckRead(undo.Loc{Kind: heap.KindObject, ID: 1, Idx: 99}, 2); hit {
+		t.Fatal("phantom hit on out-of-range field")
+	}
+	tb.RegisterWrite(undo.Loc{Kind: heap.KindObject, ID: 99, Idx: 0}, SpanRef{Thread: 1, Gen: 1})
+	if tb.Entries() != 0 {
+		t.Fatal("register of unknown location counted")
 	}
 }
 
 func TestHasForeignFastPath(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	if tb.HasForeign(1) {
 		t.Fatal("empty table has foreign entries")
 	}
@@ -64,7 +83,7 @@ func TestHasForeignFastPath(t *testing.T) {
 }
 
 func TestUnregisterOnlyOwn(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
 	tb.Unregister(loc(0), 2) // wrong thread: must not remove
 	if _, hit := tb.CheckRead(loc(0), 2); !hit {
@@ -80,7 +99,7 @@ func TestUnregisterOnlyOwn(t *testing.T) {
 }
 
 func TestReRegisterSameThreadUpdatesGen(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 2})
 	ref, _ := tb.CheckRead(loc(0), 2)
@@ -93,7 +112,7 @@ func TestReRegisterSameThreadUpdatesGen(t *testing.T) {
 }
 
 func TestTakeoverByOtherThread(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 2, Gen: 5})
 	if tb.Entries() != 1 {
@@ -111,7 +130,7 @@ func TestTakeoverByOtherThread(t *testing.T) {
 }
 
 func TestDropThread(t *testing.T) {
-	tb := NewTable()
+	tb, _ := newTestTable()
 	tb.RegisterWrite(loc(0), SpanRef{Thread: 1, Gen: 1})
 	tb.RegisterWrite(loc(1), SpanRef{Thread: 1, Gen: 1})
 	tb.RegisterWrite(loc(2), SpanRef{Thread: 2, Gen: 1})
@@ -128,9 +147,55 @@ func TestDropThread(t *testing.T) {
 	tb.DropThread(1) // idempotent
 }
 
-// Property: total always equals the number of live map entries, and
-// per-thread counts always sum to total, across arbitrary operation
-// sequences.
+func TestPointerFastPathsMatchLocAPI(t *testing.T) {
+	h := heap.New()
+	o := h.AllocPlain("C", 4)
+	a := h.AllocArray(4)
+	h.DefineStatic("s", false, 0)
+	tb := NewTable(h)
+
+	tb.RegisterObject(o, 1, SpanRef{Thread: 1, Gen: 3})
+	tb.RegisterArray(a, 2, SpanRef{Thread: 1, Gen: 3})
+	tb.RegisterStatic(0, SpanRef{Thread: 1, Gen: 3})
+	if tb.Entries() != 3 {
+		t.Fatalf("Entries = %d, want 3", tb.Entries())
+	}
+	if ref, hit := tb.CheckReadObject(o, 1, 2); !hit || ref.Gen != 3 {
+		t.Fatalf("CheckReadObject = %+v,%v", ref, hit)
+	}
+	if _, hit := tb.CheckReadArray(a, 2, 2); !hit {
+		t.Fatal("CheckReadArray missed")
+	}
+	if _, hit := tb.CheckReadStatic(0, 2); !hit {
+		t.Fatal("CheckReadStatic missed")
+	}
+	// The Loc API sees the same slots.
+	tb.Unregister(undo.Loc{Kind: heap.KindObject, ID: o.ID(), Idx: 1}, 1)
+	tb.Unregister(undo.Loc{Kind: heap.KindArray, ID: a.ID(), Idx: 2}, 1)
+	tb.Unregister(undo.Loc{Kind: heap.KindStatic, Idx: 0}, 1)
+	if tb.Entries() != 0 {
+		t.Fatalf("Entries = %d after unregister, want 0", tb.Entries())
+	}
+}
+
+func TestTwoTablesDoNotShareStamps(t *testing.T) {
+	// Stamps written through one table over a heap must read as stale to a
+	// second table over the same heap: eras are process-global.
+	h := heap.New()
+	o := h.AllocPlain("C", 2)
+	tb1 := NewTable(h)
+	tb1.RegisterObject(o, 0, SpanRef{Thread: 1, Gen: 1})
+	tb2 := NewTable(h)
+	if _, hit := tb2.CheckReadObject(o, 0, 2); hit {
+		t.Fatal("stamp from another table read as live")
+	}
+	if tb2.Entries() != 0 {
+		t.Fatalf("tb2.Entries = %d", tb2.Entries())
+	}
+}
+
+// Property: per-thread counts sum to total, and total equals the number of
+// live shadow slots, across arbitrary operation sequences.
 func TestCountInvariantProperty(t *testing.T) {
 	type op struct {
 		Kind   uint8
@@ -138,11 +203,13 @@ func TestCountInvariantProperty(t *testing.T) {
 		Thread uint8
 	}
 	prop := func(ops []op) bool {
-		tb := NewTable()
-		for _, o := range ops {
-			l := loc(int(o.Loc % 8))
-			th := int(o.Thread % 4)
-			switch o.Kind % 3 {
+		h := heap.New()
+		o := h.AllocPlain("C", 8)
+		tb := NewTable(h)
+		for _, op := range ops {
+			l := loc(int(op.Loc % 8))
+			th := int(op.Thread % 4)
+			switch op.Kind % 3 {
 			case 0:
 				tb.RegisterWrite(l, SpanRef{Thread: th, Gen: 1})
 			case 1:
@@ -151,14 +218,19 @@ func TestCountInvariantProperty(t *testing.T) {
 				tb.DropThread(th)
 			}
 			sum := 0
-			for th2 := 0; th2 < 4; th2++ {
-				c := tb.perThread[th2]
+			for _, c := range tb.perThread {
 				if c < 0 {
 					return false
 				}
 				sum += c
 			}
-			if sum != tb.total || tb.total != len(tb.writes) {
+			live := 0
+			for i := 0; i < o.NumFields(); i++ {
+				if tb.live(o.Shadow(i)) {
+					live++
+				}
+			}
+			if sum != tb.total || tb.total != live {
 				return false
 			}
 		}

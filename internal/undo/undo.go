@@ -7,10 +7,24 @@
 // A rollback processes the log in reverse, restoring every modified location
 // to its original value. Marks delimit the portion of the log belonging to a
 // synchronized section, so nested sections roll back only their own suffix.
+//
+// First-write-wins dedup: the LogObjectOnce/LogArrayOnce/LogStaticOnce
+// variants stamp the location's heap.ShadowSlot with (log id, epoch,
+// position) and skip the append when the same log already holds an entry
+// for the location at or after the caller's section mark — one undo entry
+// per location per section instead of one per store. Skipping is sound
+// because reverse replay restores a location from the *earliest* entry at
+// or after the rollback mark, and that entry's old value is exactly the
+// location's value when the mark was taken; a later duplicate adds work but
+// never changes the result. The epoch increments whenever entries die
+// (RollbackTo, Truncate, Reset), invalidating every outstanding stamp at
+// once — a stale stamp merely costs a redundant append, never a lost undo
+// record.
 package undo
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/heap"
 )
@@ -60,19 +74,39 @@ func (e Entry) String() string {
 // at or after m.
 type Mark int
 
+// nextLogID hands out process-unique log identities for shadow stamps. Ids
+// start at 1 so a zeroed ShadowSlot never matches a live log.
+var nextLogID uint64
+
 // Log is the per-thread sequential buffer. The zero value is an empty log.
 type Log struct {
 	entries []Entry
 
+	// id and epoch form the validity key of this log's shadow stamps: a
+	// slot stamped (id, epoch, pos) is known to have a live entry at
+	// index pos. epoch starts at 1 and increments whenever entries die.
+	id    uint64
+	epoch uint64
+
 	// appended counts every entry ever logged, across truncations; it
-	// feeds the statistics the evaluation section reports on.
+	// feeds the statistics the evaluation section reports on. deduped
+	// counts stores skipped by first-write-wins.
 	appended int64
 	undone   int64
+	deduped  int64
 }
 
 // NewLog returns a log with capacity pre-allocated for cap entries.
 func NewLog(cap int) *Log {
-	return &Log{entries: make([]Entry, 0, cap)}
+	return &Log{entries: make([]Entry, 0, cap), id: atomic.AddUint64(&nextLogID, 1), epoch: 1}
+}
+
+// ensureIdentity lazily initializes a zero-value Log's stamp identity.
+func (l *Log) ensureIdentity() {
+	if l.id == 0 {
+		l.id = atomic.AddUint64(&nextLogID, 1)
+		l.epoch = 1
+	}
 }
 
 // Len returns the number of live entries.
@@ -83,6 +117,10 @@ func (l *Log) Appended() int64 { return l.appended }
 
 // Undone returns the lifetime count of entries reverted by rollbacks.
 func (l *Log) Undone() int64 { return l.undone }
+
+// Deduped returns the lifetime count of stores skipped by first-write-wins
+// (the location was already logged within the same section).
+func (l *Log) Deduped() int64 { return l.deduped }
 
 // Mark returns the current log position.
 func (l *Log) Mark() Mark { return Mark(len(l.entries)) }
@@ -108,6 +146,52 @@ func (l *Log) LogStatic(idx int, old heap.Word) {
 	l.appended++
 }
 
+// stamped reports whether s already guarantees a live entry for its slot at
+// or after the section mark; if not, it stamps the slot for the entry about
+// to be appended. Shared fast path of the *Once variants.
+func (l *Log) stamped(s *heap.ShadowSlot, section Mark) bool {
+	l.ensureIdentity()
+	if s.LogID == l.id && s.LogEpoch == l.epoch && s.LogPos >= int(section) {
+		l.deduped++
+		return true
+	}
+	s.LogID = l.id
+	s.LogEpoch = l.epoch
+	s.LogPos = len(l.entries)
+	return false
+}
+
+// LogObjectOnce records the pre-store value of an object field unless this
+// log already holds an entry for the slot at or after section (the
+// innermost active section's mark) — first-write-wins. It reports whether
+// an entry was appended.
+func (l *Log) LogObjectOnce(o *heap.Object, idx int, old heap.Word, section Mark) bool {
+	if l.stamped(o.Shadow(idx), section) {
+		return false
+	}
+	l.LogObject(o, idx, old)
+	return true
+}
+
+// LogArrayOnce is LogObjectOnce for array elements.
+func (l *Log) LogArrayOnce(a *heap.Array, idx int, old heap.Word, section Mark) bool {
+	if l.stamped(a.Shadow(idx), section) {
+		return false
+	}
+	l.LogArray(a, idx, old)
+	return true
+}
+
+// LogStaticOnce is LogObjectOnce for static variables; h owns the static
+// table's shadow slots.
+func (l *Log) LogStaticOnce(h *heap.Heap, idx int, old heap.Word, section Mark) bool {
+	if l.stamped(h.StaticShadow(idx), section) {
+		return false
+	}
+	l.LogStatic(idx, old)
+	return true
+}
+
 // RollbackTo restores, in reverse order, every location modified at or
 // after mark, then truncates the log to mark. h supplies the static table.
 // It returns the number of entries undone.
@@ -131,6 +215,9 @@ func (l *Log) RollbackTo(mark Mark, h *heap.Heap) int {
 	}
 	l.entries = l.entries[:m]
 	l.undone += int64(n)
+	if n > 0 {
+		l.epoch++ // discarded entries: invalidate all outstanding stamps
+	}
 	return n
 }
 
@@ -140,6 +227,9 @@ func (l *Log) Truncate(mark Mark) {
 	m := int(mark)
 	if m < 0 || m > len(l.entries) {
 		panic(fmt.Sprintf("undo: truncate to invalid mark %d (len %d)", m, len(l.entries)))
+	}
+	if m < len(l.entries) {
+		l.epoch++
 	}
 	l.entries = l.entries[:m]
 }
@@ -153,4 +243,9 @@ func (l *Log) Range(mark Mark, fn func(Entry)) {
 }
 
 // Reset empties the log, keeping capacity and lifetime counters.
-func (l *Log) Reset() { l.entries = l.entries[:0] }
+func (l *Log) Reset() {
+	if len(l.entries) > 0 {
+		l.epoch++
+	}
+	l.entries = l.entries[:0]
+}

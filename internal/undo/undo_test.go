@@ -252,3 +252,177 @@ func TestNestedMarksProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLogOnceDedupsRepeatedStores(t *testing.T) {
+	h, o, a, s := setup()
+	l := NewLog(0)
+	sec := l.Mark()
+	for i := 0; i < 100; i++ {
+		l.LogObjectOnce(o, 0, o.Get(0), sec)
+		o.Set(0, heap.Word(i))
+		l.LogArrayOnce(a, 1, a.Get(1), sec)
+		a.Set(1, heap.Word(i))
+		l.LogStaticOnce(h, s, h.GetStatic(s), sec)
+		h.SetStatic(s, heap.Word(i))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("log holds %d entries, want 3 (one per location)", l.Len())
+	}
+	if l.Deduped() != 297 {
+		t.Fatalf("Deduped = %d, want 297", l.Deduped())
+	}
+	l.RollbackTo(sec, h)
+	if o.Get(0) != 0 || a.Get(1) != 0 || h.GetStatic(s) != 0 {
+		t.Fatalf("rollback left %d,%d,%d; want 0,0,0", o.Get(0), a.Get(1), h.GetStatic(s))
+	}
+}
+
+func TestLogOnceReturnsWhetherAppended(t *testing.T) {
+	_, o, _, _ := setup()
+	l := NewLog(0)
+	if !l.LogObjectOnce(o, 0, 0, 0) {
+		t.Fatal("first store not appended")
+	}
+	if l.LogObjectOnce(o, 0, 0, 0) {
+		t.Fatal("second store appended")
+	}
+}
+
+func TestLogOnceNestedSectionRelogs(t *testing.T) {
+	// A slot logged by the outer section must be logged AGAIN by an inner
+	// section: the inner rollback needs the value as of the inner mark, not
+	// the outer one.
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	outer := l.Mark()
+	l.LogObjectOnce(o, 0, o.Get(0), outer) // old = 0
+	o.Set(0, 10)
+	inner := l.Mark()
+	if !l.LogObjectOnce(o, 0, o.Get(0), inner) {
+		t.Fatal("inner section deduped against outer entry")
+	}
+	o.Set(0, 20)
+	l.RollbackTo(inner, h)
+	if o.Get(0) != 10 {
+		t.Fatalf("inner rollback left %d, want 10", o.Get(0))
+	}
+	l.RollbackTo(outer, h)
+	if o.Get(0) != 0 {
+		t.Fatalf("outer rollback left %d, want 0", o.Get(0))
+	}
+}
+
+func TestLogOnceStampInvalidatedByRollback(t *testing.T) {
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	l.LogObjectOnce(o, 0, o.Get(0), 0)
+	o.Set(0, 5)
+	l.RollbackTo(0, h) // kills the entry; the stamp must die with it
+	sec := l.Mark()
+	o.Set(0, 7)
+	if !l.LogObjectOnce(o, 0, 7, sec) {
+		t.Fatal("stale stamp survived rollback")
+	}
+	o.Set(0, 8)
+	l.RollbackTo(sec, h)
+	if o.Get(0) != 7 {
+		t.Fatalf("rollback left %d, want 7", o.Get(0))
+	}
+}
+
+func TestLogOnceStampInvalidatedByTruncateAndReset(t *testing.T) {
+	h, o, _, _ := setup()
+	l := NewLog(0)
+	l.LogObjectOnce(o, 0, 0, 0)
+	l.Truncate(0) // commit: entry gone, stamp must be stale
+	if !l.LogObjectOnce(o, 0, 1, 0) {
+		t.Fatal("stale stamp survived truncate")
+	}
+	l.Reset()
+	if !l.LogObjectOnce(o, 0, 2, 0) {
+		t.Fatal("stale stamp survived reset")
+	}
+	_ = h
+}
+
+func TestLogOnceDistinctLogsDoNotAlias(t *testing.T) {
+	// Two threads' logs stamping the same slot must not dedup against each
+	// other: log identity is part of the stamp.
+	_, o, _, _ := setup()
+	l1, l2 := NewLog(0), NewLog(0)
+	l1.LogObjectOnce(o, 0, 0, 0)
+	if !l2.LogObjectOnce(o, 0, 0, 0) {
+		t.Fatal("second log deduped against first log's stamp")
+	}
+	if l1.Len() != 1 || l2.Len() != 1 {
+		t.Fatalf("lens %d,%d; want 1,1", l1.Len(), l2.Len())
+	}
+}
+
+func TestLogOnceZeroValueLog(t *testing.T) {
+	// The zero-value Log must not dedup its first store against the slot's
+	// zeroed stamp.
+	_, o, _, _ := setup()
+	var l Log
+	if !l.LogObjectOnce(o, 0, 0, 0) {
+		t.Fatal("zero-value log deduped its first store")
+	}
+	if l.LogObjectOnce(o, 0, 0, 0) {
+		t.Fatal("second store not deduped")
+	}
+}
+
+// Property: rollback of a deduped log restores the same snapshot as rollback
+// of a full (undeduped) log over the identical store sequence — the §3.1.2
+// guarantee is preserved by first-write-wins.
+func TestDedupRollbackEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64, steps uint8) bool {
+		run := func(dedup bool) heap.Snapshot {
+			rng := rand.New(rand.NewSource(seed))
+			h := heap.New()
+			o := h.AllocPlain("C", 4)
+			a := h.AllocArray(4)
+			s := h.DefineStatic("s", false, 0)
+			for i := 0; i < 4; i++ {
+				o.Set(i, heap.Word(rng.Int63n(100)))
+				a.Set(i, heap.Word(rng.Int63n(100)))
+			}
+			h.SetStatic(s, heap.Word(rng.Int63n(100)))
+			l := NewLog(0)
+			sec := l.Mark()
+			for i := 0; i < int(steps); i++ {
+				idx := rng.Intn(4)
+				v := heap.Word(rng.Int63n(1000))
+				switch rng.Intn(3) {
+				case 0:
+					if dedup {
+						l.LogObjectOnce(o, idx, o.Get(idx), sec)
+					} else {
+						l.LogObject(o, idx, o.Get(idx))
+					}
+					o.Set(idx, v)
+				case 1:
+					if dedup {
+						l.LogArrayOnce(a, idx, a.Get(idx), sec)
+					} else {
+						l.LogArray(a, idx, a.Get(idx))
+					}
+					a.Set(idx, v)
+				case 2:
+					if dedup {
+						l.LogStaticOnce(h, s, h.GetStatic(s), sec)
+					} else {
+						l.LogStatic(s, h.GetStatic(s))
+					}
+					h.SetStatic(s, v)
+				}
+			}
+			l.RollbackTo(sec, h)
+			return h.Snapshot()
+		}
+		return run(true).Equal(run(false))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
