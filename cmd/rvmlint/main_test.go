@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden locks rvmlint's text output over the example programs. Run
+// with -update after an intentional output change.
+func TestGolden(t *testing.T) {
+	for _, name := range []string{"lockorder", "native_section", "inversion"} {
+		t.Run(name, func(t *testing.T) {
+			src := filepath.Join("..", "..", "examples", "bytecode", name+".rvm")
+			var out, errOut bytes.Buffer
+			if code := run([]string{src}, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+			}
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestSeededFindings asserts the load-bearing findings directly, so the
+// intent survives even a golden regeneration: the lockorder example must
+// report a cycle, the native example a non-revocable section.
+func TestSeededFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-fail-on-cycle",
+		filepath.Join("..", "..", "examples", "bytecode", "lockorder.rvm"),
+	}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("-fail-on-cycle exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "static:A <-> static:B") {
+		t.Errorf("cycle not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{
+		"-fail-on-cycle",
+		filepath.Join("..", "..", "examples", "bytecode", "native_section.rvm"),
+	}, &out, &errOut); code != 0 {
+		t.Errorf("cycle-free program exited %d", code)
+	}
+	if !strings.Contains(out.String(), "NON-REVOCABLE") || !strings.Contains(out.String(), "native-call print") {
+		t.Errorf("native section not flagged:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput: -json emits one parseable report per input file with the
+// fields CI consumes.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-json",
+		filepath.Join("..", "..", "examples", "bytecode", "lockorder.rvm"),
+		filepath.Join("..", "..", "examples", "bytecode", "native_section.rvm"),
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var reports []struct {
+		File  string `json:"file"`
+		Facts struct {
+			Sections []struct {
+				NonRevocable bool `json:"non_revocable"`
+			} `json:"sections"`
+			Cycles         []json.RawMessage `json:"cycles"`
+			TotalStores    int               `json:"total_stores"`
+			ElidableStores int               `json:"elidable_stores"`
+		} `json:"facts"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[0].File != "lockorder.rvm" || len(reports[0].Facts.Cycles) != 1 {
+		t.Errorf("lockorder report wrong: %+v", reports[0])
+	}
+	nonRev := 0
+	for _, s := range reports[1].Facts.Sections {
+		if s.NonRevocable {
+			nonRev++
+		}
+	}
+	if reports[1].File != "native_section.rvm" || nonRev != 1 {
+		t.Errorf("native_section report wrong: %+v", reports[1])
+	}
+	if reports[0].Facts.TotalStores == 0 || reports[0].Facts.ElidableStores == 0 {
+		t.Errorf("store counters empty: %+v", reports[0].Facts)
+	}
+}

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	rvmrun [-vm unmodified|revocation] [-rewrite] [-threaded] [-quantum N]
-//	       [-trace] [-disasm] [-stats] program.rvm
+//	rvmrun [-vm unmodified|revocation] [-rewrite] [-static] [-threaded]
+//	       [-quantum N] [-trace] [-disasm] [-stats] program.rvm
 //
 // The program file uses the assembler syntax of internal/bytecode (see the
 // Assemble documentation and examples/bytecode/inversion.rvm). Threads are
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -33,6 +34,7 @@ func main() {
 		threaded  = flag.Bool("threaded", false, "use the threaded-code execution tier")
 		quantum   = flag.Int64("quantum", 1000, "scheduler quantum in ticks")
 		seed      = flag.Int64("seed", 0, "deterministic scheduler seed")
+		static    = flag.Bool("static", false, "run whole-program analysis: pre-mark non-revocable sections, elide proven-safe write barriers")
 		doTrace   = flag.Bool("trace", false, "stream runtime events to stderr")
 		timeline  = flag.Bool("timeline", false, "print an ASCII schedule timeline at the end")
 		disasm    = flag.Bool("disasm", false, "print the (rewritten) program and exit")
@@ -74,6 +76,20 @@ func main() {
 		}
 	}
 
+	// Static analysis runs over the program the VM will actually execute
+	// (post-rewrite), so the facts are keyed by the pcs the interpreter
+	// sees. Elision rewrites proven-safe stores to their raw forms; the
+	// facts handed to the interpreter drive allocation logging (which keeps
+	// fresh-target elision sound under rollback) and monitor pre-marking.
+	var facts *analysis.Facts
+	if *static {
+		facts, err = analysis.Analyze(prog)
+		if err != nil {
+			fatal(fmt.Errorf("static analysis: %w", err))
+		}
+		rewrite.ApplyStaticElision(prog, facts)
+	}
+
 	if *disasm {
 		for _, m := range prog.Methods {
 			fmt.Println(bytecode.Disassemble(m))
@@ -101,6 +117,7 @@ func main() {
 	env, err := interp.Run(rt, prog, interp.Options{
 		Rewritten: *doRewrite,
 		Threaded:  *threaded,
+		Facts:     facts,
 		Out:       os.Stdout,
 	})
 	if err != nil {
@@ -126,6 +143,10 @@ func printStats(rt *core.Runtime) {
 		st.Inversions, st.RevocationRequests, st.RevocationsDenied, st.Rollbacks, st.Reexecutions)
 	fmt.Fprintf(os.Stderr, "logged=%d undone=%d wasted-ticks=%d deadlocks-broken=%d switches=%d\n",
 		st.EntriesLogged, st.EntriesUndone, st.WastedTicks, st.DeadlocksBroken, st.ContextSwitches)
+	if st.StaticPreMarks > 0 || st.RawStores > 0 || st.AllocsLogged > 0 {
+		fmt.Fprintf(os.Stderr, "static: premarks=%d raw-stores=%d allocs-logged=%d\n",
+			st.StaticPreMarks, st.RawStores, st.AllocsLogged)
+	}
 	for _, th := range rt.Scheduler().Threads() {
 		fmt.Fprintf(os.Stderr, "thread %-12s prio=%d start=%d end=%d cpu=%d\n",
 			th.Name(), th.BasePriority(), th.StartedAt(), th.EndedAt(), th.CPU())

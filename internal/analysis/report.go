@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats the findings as deterministic human-readable text — the
+// default output of cmd/rvmlint and the subject of its golden tests.
+func (f *Facts) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "methods: %d  sections: %d (%d non-revocable)  cycles: %d\n",
+		len(f.methods), len(f.Sections), f.NonRevocableSections(), len(f.Cycles))
+	fmt.Fprintf(&b, "stores: %d total, %d elidable (%d never-held, %d fresh-target)\n",
+		f.TotalStores, f.ElidableStores, f.NeverHeldStores, f.FreshStores)
+
+	if len(f.Sections) > 0 {
+		b.WriteString("\nsections:\n")
+		for _, s := range f.Sections {
+			kind := "sync block"
+			if s.SyncMethod {
+				kind = "sync method"
+			}
+			class := "revocable"
+			if s.NonRevocable {
+				class = "NON-REVOCABLE"
+			}
+			fmt.Fprintf(&b, "  %v  %s  lock=%s  %s\n", s.Enter, kind, s.Lock, class)
+			for _, r := range s.Reasons {
+				fmt.Fprintf(&b, "    reason: %v\n", r)
+			}
+		}
+	}
+
+	if len(f.Cycles) > 0 {
+		b.WriteString("\npotential deadlocks (lock-order cycles):\n")
+		for _, c := range f.Cycles {
+			fmt.Fprintf(&b, "  cycle: %s\n", strings.Join(c.Locks, " <-> "))
+			for _, e := range c.Edges {
+				fmt.Fprintf(&b, "    %s acquired at %v while holding %s (entered at %v)\n",
+					e.To, e.At, e.From, e.Outer)
+			}
+		}
+	}
+	return b.String()
+}

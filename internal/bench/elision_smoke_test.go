@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestElisionBenchBodies executes both halves of the barriers-vs-elided
+// pair once and checks the counters the report records: the elided run must
+// actually prove stores elidable and execute them raw, while the
+// all-barriers run must never take a raw path.
+func TestElisionBenchBodies(t *testing.T) {
+	for _, static := range []bool{false, true} {
+		counts := make(map[string]int64)
+		r := testing.Benchmark(ElisionBenchBody(static, counts))
+		t.Logf("static=%v: %v counts=%v", static, r, counts)
+		if static {
+			if counts["static_elidable_stores"] == 0 {
+				t.Error("analysis proved no stores elidable")
+			}
+			if counts["raw_stores"] == 0 {
+				t.Error("elided run executed no raw stores")
+			}
+			if counts["barrier_fast_paths"] != 0 {
+				t.Errorf("elided run still hit the barrier fast path %d times",
+					counts["barrier_fast_paths"])
+			}
+		} else {
+			if counts["raw_stores"] != 0 {
+				t.Error("all-barriers run executed raw stores")
+			}
+			if counts["barrier_fast_paths"] == 0 {
+				t.Error("all-barriers run never hit the barrier fast path")
+			}
+		}
+	}
+}

@@ -14,13 +14,16 @@ import (
 	"testing"
 )
 
-// BenchResult is one benchmark's wall-clock outcome.
+// BenchResult is one benchmark's wall-clock outcome. Stats carries
+// benchmark-specific counters (e.g. how many store barriers the static
+// elision removed) alongside the timing.
 type BenchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string           `json:"name"`
+	Iterations  int              `json:"iterations"`
+	NsPerOp     float64          `json:"ns_per_op"`
+	BytesPerOp  int64            `json:"bytes_per_op"`
+	AllocsPerOp int64            `json:"allocs_per_op"`
+	Stats       map[string]int64 `json:"stats,omitempty"`
 }
 
 // Report is one labelled run of the suite. Files written by WriteReport hold
@@ -69,6 +72,18 @@ func RunReport(label, date string, progress func(BenchResult)) (Report, error) {
 	add(measure("WriteBarrier", WriteBarrierBench))
 	add(measure("ReadBarrier", ReadBarrierBench))
 	add(measure("Rollback", RollbackBench))
+
+	// Barriers-vs-elided pair: identical program, with and without the
+	// static analysis; the stats record the elided-store counts.
+	for _, v := range []struct {
+		name   string
+		static bool
+	}{{"StaticElision/allBarriers", false}, {"StaticElision/elided", true}} {
+		counts := make(map[string]int64)
+		res := measure(v.name, ElisionBenchBody(v.static, counts))
+		res.Stats = counts
+		add(res)
+	}
 
 	var figures []int
 	for n := range Specs {

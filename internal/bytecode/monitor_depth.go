@@ -1,0 +1,114 @@
+package bytecode
+
+import "fmt"
+
+// Monitor-balance verification: MONITORENTER/MONITOREXIT must balance along
+// every control-flow path, in the same way the stack verifier requires a
+// consistent operand-stack depth at merge points. The JVM specification
+// leaves structured locking optional; this VM enforces it at load time
+// because the rewriter's rollback scopes (§3.1.1) assume every synchronized
+// region has a statically known extent.
+//
+// Two rules are deliberately *not* enforced here:
+//
+//   - Returning while a monitor is held stays a runtime error (the
+//     interpreter raises "return with synchronized sections active").
+//     MONITORENTER can throw NullPointerException before acquiring, so a
+//     program whose post-enter path is dynamically unreachable — e.g. a test
+//     that enters on a bad ref purely to exercise the NPE handler — is
+//     statically "unbalanced" on a path that can never execute.
+//
+//   - Which *object* a MONITOREXIT releases is unknowable without alias
+//     information; the interpreter checks exits against the innermost
+//     active region at runtime.
+
+// MonitorDepths computes the monitor nesting depth before each instruction
+// of m (-1 for unreachable code). It reports an error when an exit would
+// underflow (a path reaches MONITOREXIT holding no monitor) or when two
+// paths merge at different depths. Exception-handler targets start at the
+// depth of their range's first covered instruction: that is the depth the
+// runtime dispatch produces, because inner handlers release their own
+// monitors before rethrowing to outer ones.
+//
+// The method must already satisfy VerifyMethod (jump targets in range).
+func MonitorDepths(p *Program, m *Method) ([]int, error) {
+	n := len(m.Code)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	fail := func(pc int, f string, args ...any) error {
+		return &VerifyError{Method: m.Name, PC: pc, Msg: fmt.Sprintf(f, args...)}
+	}
+
+	type work struct{ pc, d int }
+	var queue []work
+	post := func(q []work, pc, d int) ([]work, error) {
+		if depth[pc] == -1 {
+			depth[pc] = d
+			return append(q, work{pc, d}), nil
+		}
+		if depth[pc] != d {
+			return q, fail(pc, "inconsistent monitor depth at merge: %d vs %d", depth[pc], d)
+		}
+		return q, nil
+	}
+
+	var err error
+	if queue, err = post(queue, 0, 0); err != nil {
+		return nil, err
+	}
+	for {
+		for len(queue) > 0 {
+			w := queue[0]
+			queue = queue[1:]
+			pc, d := w.pc, depth[w.pc]
+			in := m.Code[pc]
+			nd := d
+			switch in.Op {
+			case MONITORENTER:
+				nd = d + 1
+			case MONITOREXIT:
+				if d == 0 {
+					return nil, fail(pc, "monitorexit with no enclosing monitorenter on some path")
+				}
+				nd = d - 1
+			}
+			switch in.Op {
+			case GOTO:
+				if queue, err = post(queue, in.A, nd); err != nil {
+					return nil, err
+				}
+				continue
+			case IFNZ, IFZ:
+				if queue, err = post(queue, in.A, nd); err != nil {
+					return nil, err
+				}
+			case RETURN, IRETURN, THROW, RETHROW:
+				continue // no fall-through
+			}
+			if pc+1 < n {
+				if queue, err = post(queue, pc+1, nd); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Seed handler targets whose range entry has become reachable. A
+		// handler enters at the depth of its From pc: by the time dispatch
+		// reaches this handler, every monitor entered inside its range has
+		// been released (inner monitor-release handlers run first and
+		// rethrow outward).
+		progressed := false
+		for _, h := range m.Handlers {
+			if depth[h.From] >= 0 && depth[h.Target] == -1 {
+				depth[h.Target] = depth[h.From]
+				queue = append(queue, work{h.Target, depth[h.From]})
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return depth, nil
+}

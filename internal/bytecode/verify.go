@@ -18,11 +18,15 @@ func (e *VerifyError) Error() string {
 
 // Verify checks the whole program and computes every method's MaxStack.
 // It validates jump targets, local indices, symbol references, stack
-// discipline (no underflow, consistent depth at merge points) and handler
-// ranges.
+// discipline (no underflow, consistent depth at merge points), handler
+// ranges, and MONITORENTER/MONITOREXIT balance along every control-flow
+// path (see MonitorDepths).
 func Verify(p *Program) error {
 	for _, m := range p.Methods {
 		if _, err := VerifyMethod(p, m); err != nil {
+			return err
+		}
+		if _, err := MonitorDepths(p, m); err != nil {
 			return err
 		}
 	}
@@ -152,6 +156,20 @@ func VerifyMethod(p *Program, m *Method) ([]int, error) {
 	}
 	m.MaxStack = maxStack
 	return depth, nil
+}
+
+// StackEffect reports the operand-stack effect of one instruction plus its
+// control-flow classification: terminal means control does not fall through
+// (GOTO is not terminal — its target is the fall-through successor), branch
+// means in.A is an additional successor. SAVESTACK and RESTORESTACK report
+// zero effect; their depth semantics (assert depth V / rebuild V entries)
+// are the caller's to model, as the verifier does. Exported for the static
+// analyses in internal/analysis.
+func StackEffect(p *Program, m *Method, pc int, in Instr) (pops, pushes int, terminal, branch bool, err error) {
+	fail := func(pc int, f string, args ...any) error {
+		return &VerifyError{Method: m.Name, PC: pc, Msg: fmt.Sprintf(f, args...)}
+	}
+	return effect(p, m, pc, in, fail)
 }
 
 // effect returns the stack effect of one instruction plus control-flow

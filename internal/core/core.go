@@ -193,6 +193,9 @@ type Stats struct {
 	ContextSwitches    int64
 	BarrierFastPaths   int64 // non-logging stores (outside sections or Unmodified)
 	StoresDeduped      int64 // in-section stores skipped by first-write-wins logging
+	StaticPreMarks     int64 // monitors pre-marked non-revocable by static analysis
+	AllocsLogged       int64 // whole-allocation undo entries (static elision support)
+	RawStores          int64 // statically elided stores executed barrier-free
 }
 
 // Runtime hosts a simulated VM instance.
@@ -316,6 +319,7 @@ func (rt *Runtime) Stats() Stats {
 		s.EntriesLogged += t.log.Appended()
 		s.EntriesUndone += t.log.Undone()
 		s.StoresDeduped += t.log.Deduped()
+		s.AllocsLogged += t.log.AllocsLogged()
 	}
 	return s
 }
@@ -362,6 +366,14 @@ type Task struct {
 	frames    []frame
 	spanGen   uint64 // increments when the outermost frame is pushed
 	revokeReq *revocation
+
+	// nonRevBelow caches how many frames, from the outermost in, are known
+	// to guard non-revocable monitors. When it reaches len(frames) no active
+	// section can be a rollback target and stores skip undo logging
+	// entirely — the payoff of static pre-marking. Clamped wherever frames
+	// are popped, and at Wait's re-acquire (the one point a still-held
+	// monitor's non-revocable flag can reset).
+	nonRevBelow int
 
 	// retryAttempts carries the attempt counter of a rolled-back frame
 	// into its re-execution (set in Synchronized, consumed in enter).
@@ -446,9 +458,29 @@ func (t *Task) spanRef() jmm.SpanRef {
 	return jmm.SpanRef{Thread: t.th.ID(), Gen: t.spanGen}
 }
 
-// logging reports whether stores must be logged right now.
+// logging reports whether stores must be logged right now: Revocation mode,
+// inside a section, and at least one active frame still revocable. When
+// every frame's monitor is non-revocable no rollback can target this task,
+// so undo entries would never be replayed — the section runs log-free.
 func (t *Task) logging() bool {
-	return t.rt.cfg.Mode == Revocation && len(t.frames) > 0
+	if t.rt.cfg.Mode != Revocation || len(t.frames) == 0 {
+		return false
+	}
+	for t.nonRevBelow < len(t.frames) {
+		if nr, _ := t.frames[t.nonRevBelow].mon.NonRevocable(); !nr {
+			return true
+		}
+		t.nonRevBelow++
+	}
+	return false
+}
+
+// clampNonRevBelow re-establishes nonRevBelow ≤ len(frames) after frames
+// are popped.
+func (t *Task) clampNonRevBelow() {
+	if t.nonRevBelow > len(t.frames) {
+		t.nonRevBelow = len(t.frames)
+	}
 }
 
 // sectionMark returns the innermost active frame's log mark — the
@@ -649,6 +681,7 @@ func (t *Task) Synchronized(m *monitor.Monitor, body func()) {
 		myIdx := len(t.frames) - 1
 		f := t.frames[myIdx]
 		t.frames = t.frames[:myIdx]
+		t.clampNonRevBelow()
 		if sig.target != myIdx {
 			panic(*sig) // rollback target is an enclosing section
 		}
@@ -782,6 +815,7 @@ func (t *Task) commitTop(m *monitor.Monitor) {
 		panic(fmt.Sprintf("core: commit of %s but top frame holds %s", m.Name(), f.mon.Name()))
 	}
 	t.frames = t.frames[:len(t.frames)-1]
+	t.clampNonRevBelow()
 	if len(t.frames) == 0 && t.log.Len() > 0 {
 		if rt.cfg.TrackDependencies {
 			id := t.th.ID()
@@ -982,6 +1016,11 @@ func (t *Task) Wait(m *monitor.Monitor) {
 	// as a substitution in DESIGN.md).
 	if len(t.frames) == 1 && !t.frames[idx].reentrant {
 		m.MarkNonRevocable("resume point after wait")
+	}
+	// The released-and-reacquired monitor span restarted clean, so any
+	// cached non-revocability at or above this frame is stale.
+	if t.nonRevBelow > idx {
+		t.nonRevBelow = idx
 	}
 	f := &t.frames[idx]
 	f.monGen = m.Gen()

@@ -383,3 +383,143 @@ func TestDedupRollbackEquivalenceProperty(t *testing.T) {
 		t.Fatal("no rollbacks exercised across any seed")
 	}
 }
+
+// TestAllocEntryRollbackEquivalenceProperty is the soundness property behind
+// the static analysis' fresh-target barrier elision: raw (unbarriered)
+// stores into an object registered as allocated-in-section must roll back
+// exactly like individually logged stores, because the single alloc-entry
+// restores the whole allocation. Identical randomized programs run twice —
+// once with raw stores + RegisterAlloc*, once with the per-store barrier —
+// and the heaps right after the rollback and at the end must be identical.
+func TestAllocEntryRollbackEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const slots = 4
+		writes := 5 + rng.Intn(40)
+		targets := make([]int, writes) // 0 fresh object, 1 fresh array, 2 pre-existing object
+		idxs := make([]int, writes)
+		for i := range targets {
+			targets[i] = rng.Intn(3)
+			idxs[i] = rng.Intn(slots)
+		}
+		type result struct {
+			post, final heap.Snapshot
+			frozen      bool // attempt-1 allocation fully zeroed after rollback
+			st          Stats
+			err         error
+		}
+		run := func(raw bool) result {
+			rt := New(Config{
+				Mode: Revocation, NoCosts: true, TrackDependencies: true,
+				Sched: sched.Config{Quantum: 1 << 40, Seed: seed},
+			})
+			h := rt.Heap()
+			old := h.AllocPlain("old", slots)
+			m := rt.NewMonitor("m")
+			var res result
+			var firstObj *heap.Object
+			var firstArr *heap.Array
+			ready, handled := false, false
+			rt.Spawn("low", sched.LowPriority, func(tk *Task) {
+				attempt := 0
+				tk.Synchronized(m, func() {
+					attempt++
+					o := h.AllocPlain("fresh", slots)
+					a := h.AllocArray(slots)
+					if attempt == 1 {
+						firstObj, firstArr = o, a
+					}
+					if raw {
+						// What the interpreter does at NEWOBJ/NEWARR when
+						// facts are present; the stores below then skip the
+						// write barrier entirely.
+						tk.RegisterAllocObject(o)
+						tk.RegisterAllocArray(a)
+					}
+					for i := 0; i < writes; i++ {
+						v := heap.Word(attempt*1000 + i)
+						switch targets[i] {
+						case 0:
+							if raw {
+								o.Set(idxs[i], v)
+							} else {
+								tk.WriteField(o, idxs[i], v)
+							}
+						case 1:
+							if raw {
+								a.Set(idxs[i], v)
+							} else {
+								tk.WriteElem(a, idxs[i], v)
+							}
+						default:
+							// Stale target: the analysis can never elide
+							// this one, so it is always barriered.
+							tk.WriteField(old, idxs[i], v)
+						}
+					}
+					if attempt == 1 {
+						ready = true
+						for !handled {
+							tk.Thread().Yield()
+							tk.YieldPoint()
+						}
+					}
+				})
+			})
+			rt.Spawn("high", sched.HighPriority, func(tk *Task) {
+				for !ready {
+					tk.Thread().Yield()
+				}
+				tk.Synchronized(m, func() {
+					res.post = h.Snapshot()
+					res.frozen = true
+					for i := 0; i < slots; i++ {
+						if firstObj.Get(i) != 0 || firstArr.Get(i) != 0 {
+							res.frozen = false
+						}
+					}
+					handled = true
+				})
+			})
+			res.err = rt.Run()
+			res.final = h.Snapshot()
+			res.st = rt.Stats()
+			return res
+		}
+		rawRes := run(true)
+		barRes := run(false)
+		if rawRes.err != nil || barRes.err != nil {
+			t.Logf("seed %d: errs %v / %v", seed, rawRes.err, barRes.err)
+			return false
+		}
+		if rawRes.st.Rollbacks != 1 || barRes.st.Rollbacks != 1 {
+			return false
+		}
+		// The rolled-back attempt-1 allocations must read as freshly
+		// allocated again, in both runs.
+		if !rawRes.frozen || !barRes.frozen {
+			t.Logf("seed %d: attempt-1 allocations not restored (raw=%v barrier=%v)",
+				seed, rawRes.frozen, barRes.frozen)
+			return false
+		}
+		if !rawRes.post.Equal(barRes.post) {
+			t.Logf("seed %d: post-rollback snapshots differ:\n%s",
+				seed, rawRes.post.Diff(barRes.post))
+			return false
+		}
+		if !rawRes.final.Equal(barRes.final) {
+			t.Logf("seed %d: final snapshots differ:\n%s",
+				seed, rawRes.final.Diff(barRes.final))
+			return false
+		}
+		// Alloc entries are logged on both attempts of the raw run and are
+		// counted separately from the paper's logged-stores statistic.
+		if rawRes.st.AllocsLogged < 2 || barRes.st.AllocsLogged != 0 {
+			return false
+		}
+		return rawRes.st.EntriesLogged <= barRes.st.EntriesLogged
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/heap"
 	"repro/internal/monitor"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -70,6 +71,48 @@ func (t *Task) MarkIrrevocable(reason string) {
 	}
 }
 
+// PreMarkNonRevocable marks the just-entered (top) section's monitor
+// non-revocable because static analysis proved a native call, volatile
+// read, or wait is reachable inside it. Unlike MarkIrrevocable it touches
+// only the top frame: outward propagation is unnecessary, since any
+// enclosing section statically containing this one carries the same trigger
+// in its own reachable set and received its own pre-mark. When every active
+// frame is pre-marked, the whole nest runs with zero undo-log entries.
+func (t *Task) PreMarkNonRevocable(reason string) {
+	if len(t.frames) == 0 {
+		return
+	}
+	f := &t.frames[len(t.frames)-1]
+	if nr, _ := f.mon.NonRevocable(); nr {
+		return
+	}
+	f.mon.MarkNonRevocable(reason)
+	t.rt.stats.StaticPreMarks++
+	t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.StaticPreMark, Thread: t.Name(), Object: f.mon.Name(), Detail: reason})
+}
+
+// RegisterAllocObject logs a whole-allocation undo entry for an object
+// allocated while logging is active. Rollback restores the object to its
+// allocation-time slots, which lets stores the static analysis proved
+// target a fresh object skip their write barriers.
+func (t *Task) RegisterAllocObject(o *heap.Object) {
+	if t.logging() {
+		t.log.LogAllocObject(o)
+	}
+}
+
+// RegisterAllocArray is RegisterAllocObject for arrays.
+func (t *Task) RegisterAllocArray(a *heap.Array) {
+	if t.logging() {
+		t.log.LogAllocArray(a)
+	}
+}
+
+// CountRawStore records the execution of a statically elided store — a
+// write that ran barrier-free because analysis proved logging could never
+// be needed.
+func (t *Task) CountRawStore() { t.rt.stats.RawStores++ }
+
 // EngineUnwind discards the bookkeeping of the rolled-back frames
 // [target:] after a recovered revocation (their heap effects and monitors
 // were already handled at delivery), records the re-execution, and applies
@@ -81,6 +124,7 @@ func (t *Task) EngineUnwind(info RevokeInfo) int {
 	}
 	f := t.frames[info.Target]
 	t.frames = t.frames[:info.Target]
+	t.clampNonRevBelow()
 	t.reexecutions++
 	t.rt.stats.Reexecutions++
 	t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.Reexecution, Thread: t.Name(), Object: f.mon.Name(),

@@ -14,7 +14,10 @@ import "fmt"
 // Word is the contents of one heap slot.
 type Word int64
 
-// Kind distinguishes the three logged location classes (§3.1.2).
+// Kind distinguishes the three logged location classes (§3.1.2), plus the
+// whole-allocation entries backing static barrier elision: one alloc entry
+// restores every slot of an object or array allocated inside a section,
+// subsuming per-slot entries for stores the analysis proved target it.
 type Kind uint8
 
 const (
@@ -24,6 +27,10 @@ const (
 	KindArray
 	// KindStatic is a static variable (paper: putstatic).
 	KindStatic
+	// KindAllocObject restores an in-section-allocated object wholesale.
+	KindAllocObject
+	// KindAllocArray restores an in-section-allocated array wholesale.
+	KindAllocArray
 )
 
 func (k Kind) String() string {
@@ -34,6 +41,10 @@ func (k Kind) String() string {
 		return "array"
 	case KindStatic:
 		return "static"
+	case KindAllocObject:
+		return "alloc-object"
+	case KindAllocArray:
+		return "alloc-array"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/heap"
@@ -48,6 +49,13 @@ type Options struct {
 	// compiler" analog): methods are pre-decoded into closure sequences.
 	// Semantics are identical to the switch interpreter.
 	Threaded bool
+	// Facts supplies whole-program static analysis results (from
+	// analysis.Analyze over this exact program). When set, monitorenter
+	// sites of statically non-revocable sections are pre-marked so they
+	// run with zero undo-log entries, and every allocation performed while
+	// logging is active gets a whole-allocation undo entry — the runtime
+	// support for stores elided by fresh-target proofs.
+	Facts *analysis.Facts
 }
 
 // Env is the shared execution environment: the program, the runtime, the
@@ -439,6 +447,11 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 			in.fail("%v", err)
 			return
 		}
+		if in.env.Opts.Facts != nil {
+			if o, ok := in.env.objects[ref]; ok {
+				in.task.RegisterAllocObject(o)
+			}
+		}
 		f.push(ref)
 	case bytecode.NEWARR:
 		n := f.pop()
@@ -446,7 +459,13 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 			in.raiseUser("NegativeArraySizeException")
 			return
 		}
-		f.push(in.env.NewArray(int(n)))
+		ref := in.env.NewArray(int(n))
+		if in.env.Opts.Facts != nil {
+			if a, ok := in.env.arrays[ref]; ok {
+				in.task.RegisterAllocArray(a)
+			}
+		}
+		f.push(ref)
 	case bytecode.ARRAYLEN:
 		a, ok := in.array(f.pop())
 		if !ok {
@@ -517,9 +536,11 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 			return
 		}
 		in.task.Work(in.env.RT.Config().CostWrite)
+		in.task.CountRawStore()
 		o.Set(instr.A, v)
 	case bytecode.PUTSTATICRAW:
 		in.task.Work(in.env.RT.Config().CostWrite)
+		in.task.CountRawStore()
 		in.env.RT.Heap().SetStatic(instr.A, f.pop())
 	case bytecode.ASTORERAW:
 		v := f.pop()
@@ -533,6 +554,7 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 			return
 		}
 		in.task.Work(in.env.RT.Config().CostWrite)
+		in.task.CountRawStore()
 		a.Set(int(idx), v)
 
 	case bytecode.MONITORENTER:
@@ -542,6 +564,11 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 		}
 		depth := in.task.EngineFrameDepth()
 		in.task.EngineEnter(m)
+		if facts := in.env.Opts.Facts; facts != nil {
+			if s := facts.SectionAt(f.m.Name, f.pc); s != nil && s.NonRevocable {
+				in.task.PreMarkNonRevocable(s.ReasonSummary())
+			}
+		}
 		if !in.env.Opts.Rewritten {
 			// No rollback scopes exist: revoking would strand control.
 			in.task.MarkIrrevocable("unrewritten bytecode")

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/bytecode"
 )
 
@@ -257,13 +258,31 @@ func (a *BarrierAnalysis) ElidableCount() int {
 	return n
 }
 
-// AnalyzeBarriers runs the elision analysis: a method needs barriers if it
-// contains a synchronized region (any store may follow the monitorenter —
-// a conservative, flow-insensitive approximation), or if it is callable
-// from inside some synchronized region (transitively). The analysis treats
-// the static call graph only; dynamic dispatch does not exist in this
-// bytecode.
+// AnalyzeBarriers runs the method-level elision analysis: a method needs
+// barriers if it contains a synchronized region of its own, or if it may
+// execute while some caller's monitor is held. The reachability question is
+// answered by the analysis framework (analysis.Analyze), whose may-run-held
+// fixpoint marks only methods invocable from a held program point — a call
+// placed outside every region does not poison the callee. Programs the
+// framework rejects (it re-verifies) fall back to the original conservative
+// closure: every method transitively callable from any section-containing
+// method needs barriers.
 func AnalyzeBarriers(p *bytecode.Program) *BarrierAnalysis {
+	facts, err := analysis.Analyze(p)
+	if err != nil {
+		return conservativeBarriers(p)
+	}
+	needs := make(map[string]bool, len(p.Methods))
+	for _, m := range p.Methods {
+		needs[m.Name] = facts.MayRunHeld(m.Name) ||
+			len(m.Regions) > 0 || m.Synchronized || containsMonitorEnter(m)
+	}
+	return &BarrierAnalysis{NeedsBarrier: needs}
+}
+
+// conservativeBarriers is the pre-framework approximation, kept as the
+// fallback for programs analysis.Analyze cannot process.
+func conservativeBarriers(p *bytecode.Program) *BarrierAnalysis {
 	needs := make(map[string]bool, len(p.Methods))
 	callees := make(map[string][]string, len(p.Methods))
 	var seeds []string
@@ -339,6 +358,41 @@ func ApplyElision(p *bytecode.Program, a *BarrierAnalysis) int {
 			case bytecode.ASTORE:
 				m.Code[i].Op = bytecode.ASTORERAW
 				n++
+			}
+		}
+	}
+	return n
+}
+
+// ApplyStaticElision rewrites (in place) every store instruction the
+// per-instruction analysis proved barrier-free to its raw form — both
+// never-runs-held stores and stores whose target object is provably
+// allocated inside the current section. facts must come from
+// analysis.Analyze over this exact program (same method names and pcs; run
+// it after Rewrite, on the program that will execute). The fresh-target
+// proofs rely on the runtime logging allocations, so a program elided this
+// way must run with interp.Options.Facts set to the same facts. It returns
+// the number of stores rewritten.
+func ApplyStaticElision(p *bytecode.Program, facts *analysis.Facts) int {
+	n := 0
+	for _, m := range p.Methods {
+		for i := range m.Code {
+			switch m.Code[i].Op {
+			case bytecode.PUTFIELD:
+				if facts.ElidableStore(m.Name, i) {
+					m.Code[i].Op = bytecode.PUTFIELDRAW
+					n++
+				}
+			case bytecode.PUTSTATIC:
+				if facts.ElidableStore(m.Name, i) {
+					m.Code[i].Op = bytecode.PUTSTATICRAW
+					n++
+				}
+			case bytecode.ASTORE:
+				if facts.ElidableStore(m.Name, i) {
+					m.Code[i].Op = bytecode.ASTORERAW
+					n++
+				}
 			}
 		}
 	}

@@ -39,6 +39,9 @@ const (
 	VolatileWrite
 	VolatileRead
 	Custom
+	// StaticPreMark records a monitor made non-revocable at monitorenter by
+	// load-time static analysis rather than by a dynamic trigger.
+	StaticPreMark
 )
 
 var kindNames = map[Kind]string{
@@ -64,6 +67,7 @@ var kindNames = map[Kind]string{
 	VolatileWrite:     "volatile-write",
 	VolatileRead:      "volatile-read",
 	Custom:            "custom",
+	StaticPreMark:     "static-premark",
 }
 
 // String returns the stable, hyphenated name of the kind.

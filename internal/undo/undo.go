@@ -29,13 +29,17 @@ import (
 	"repro/internal/heap"
 )
 
-// Entry is one logged store.
+// Entry is one logged store, or one logged allocation (KindAllocObject /
+// KindAllocArray): allocation entries snapshot the object's slots at
+// allocation time so a rollback can restore it wholesale, which is what
+// makes statically elided stores to in-section allocations revertible.
 type Entry struct {
 	Kind heap.Kind
-	Obj  *heap.Object // KindObject
-	Arr  *heap.Array  // KindArray
+	Obj  *heap.Object // KindObject, KindAllocObject
+	Arr  *heap.Array  // KindArray, KindAllocArray
 	Idx  int          // field index, element index, or static offset
 	Old  heap.Word    // value before the store
+	Init []heap.Word  // slot values at allocation (alloc kinds only)
 }
 
 // Loc identifies a heap location for speculation tracking; it is the map
@@ -46,13 +50,19 @@ type Loc struct {
 	Idx  int
 }
 
-// Loc returns the entry's location key.
+// Loc returns the entry's location key. Allocation entries yield a key of
+// their own kind; nothing registers such keys, so speculation unregistering
+// over a log range treats them as a no-op.
 func (e Entry) Loc() Loc {
 	switch e.Kind {
 	case heap.KindObject:
 		return Loc{Kind: heap.KindObject, ID: e.Obj.ID(), Idx: e.Idx}
 	case heap.KindArray:
 		return Loc{Kind: heap.KindArray, ID: e.Arr.ID(), Idx: e.Idx}
+	case heap.KindAllocObject:
+		return Loc{Kind: heap.KindAllocObject, ID: e.Obj.ID(), Idx: -1}
+	case heap.KindAllocArray:
+		return Loc{Kind: heap.KindAllocArray, ID: e.Arr.ID(), Idx: -1}
 	default:
 		return Loc{Kind: heap.KindStatic, Idx: e.Idx}
 	}
@@ -65,6 +75,10 @@ func (e Entry) String() string {
 		return fmt.Sprintf("object %v.%s old=%d", e.Obj, e.Obj.FieldName(e.Idx), e.Old)
 	case heap.KindArray:
 		return fmt.Sprintf("array %v[%d] old=%d", e.Arr, e.Idx, e.Old)
+	case heap.KindAllocObject:
+		return fmt.Sprintf("alloc %v init=%v", e.Obj, e.Init)
+	case heap.KindAllocArray:
+		return fmt.Sprintf("alloc %v init=%v", e.Arr, e.Init)
 	default:
 		return fmt.Sprintf("static[%d] old=%d", e.Idx, e.Old)
 	}
@@ -90,10 +104,14 @@ type Log struct {
 
 	// appended counts every entry ever logged, across truncations; it
 	// feeds the statistics the evaluation section reports on. deduped
-	// counts stores skipped by first-write-wins.
-	appended int64
-	undone   int64
-	deduped  int64
+	// counts stores skipped by first-write-wins. allocsLogged counts
+	// allocation entries separately — they are bookkeeping for static
+	// elision, not barrier-produced undo records, and must not inflate
+	// the paper's logged-stores statistic.
+	appended     int64
+	undone       int64
+	deduped      int64
+	allocsLogged int64
 }
 
 // NewLog returns a log with capacity pre-allocated for cap entries.
@@ -145,6 +163,33 @@ func (l *Log) LogStatic(idx int, old heap.Word) {
 	l.entries = append(l.entries, Entry{Kind: heap.KindStatic, Idx: idx, Old: old})
 	l.appended++
 }
+
+// LogAllocObject records an object allocated inside the current section,
+// snapshotting its slots so rollback can restore it wholesale. Elided
+// stores to the object need no per-field entries: field entries appended
+// later sit after this one in the log, so reverse replay runs them first
+// and the alloc entry has the final word.
+func (l *Log) LogAllocObject(o *heap.Object) {
+	init := make([]heap.Word, o.NumFields())
+	for i := range init {
+		init[i] = o.Get(i)
+	}
+	l.entries = append(l.entries, Entry{Kind: heap.KindAllocObject, Obj: o, Idx: -1, Init: init})
+	l.allocsLogged++
+}
+
+// LogAllocArray is LogAllocObject for arrays.
+func (l *Log) LogAllocArray(a *heap.Array) {
+	init := make([]heap.Word, a.Len())
+	for i := range init {
+		init[i] = a.Get(i)
+	}
+	l.entries = append(l.entries, Entry{Kind: heap.KindAllocArray, Arr: a, Idx: -1, Init: init})
+	l.allocsLogged++
+}
+
+// AllocsLogged returns the lifetime count of allocation entries.
+func (l *Log) AllocsLogged() int64 { return l.allocsLogged }
 
 // stamped reports whether s already guarantees a live entry for its slot at
 // or after the section mark; if not, it stamps the slot for the entry about
@@ -210,6 +255,14 @@ func (l *Log) RollbackTo(mark Mark, h *heap.Heap) int {
 			e.Arr.Set(e.Idx, e.Old)
 		case heap.KindStatic:
 			h.SetStatic(e.Idx, e.Old)
+		case heap.KindAllocObject:
+			for i, v := range e.Init {
+				e.Obj.Set(i, v)
+			}
+		case heap.KindAllocArray:
+			for i, v := range e.Init {
+				e.Arr.Set(i, v)
+			}
 		}
 		n++
 	}

@@ -13,6 +13,7 @@
 package rvm
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -41,6 +42,9 @@ type (
 	NativeFunc = interp.NativeFunc
 	// BarrierAnalysis is the §1.1 write-barrier elision analysis result.
 	BarrierAnalysis = rewrite.BarrierAnalysis
+	// Facts is the whole-program static analysis result: sections and
+	// their static revocability, lock-order cycles, elidable stores.
+	Facts = analysis.Facts
 )
 
 // Assemble parses the textual program form (see bytecode.Assemble for the
@@ -66,6 +70,17 @@ func AnalyzeBarriers(p *Program) *BarrierAnalysis { return rewrite.AnalyzeBarrie
 // ApplyElision rewrites the stores of barrier-elidable methods to raw
 // forms; returns the number of stores rewritten.
 func ApplyElision(p *Program, a *BarrierAnalysis) int { return rewrite.ApplyElision(p, a) }
+
+// Analyze runs the whole-program static analysis (held regions, static
+// revocability, lock-order cycles, per-instruction elision). Pass the
+// result to execution via Options.Facts to pre-mark non-revocable monitors
+// and keep fresh-target elision sound (allocation logging).
+func Analyze(p *Program) (*Facts, error) { return analysis.Analyze(p) }
+
+// ApplyStaticElision rewrites every store Analyze proved barrier-free to
+// its raw form; returns the number rewritten. The program must then run
+// with Options.Facts set to the same facts.
+func ApplyStaticElision(p *Program, f *Facts) int { return rewrite.ApplyStaticElision(p, f) }
 
 // NewEnv prepares an execution environment over a fresh runtime.
 func NewEnv(rt *core.Runtime, p *Program, opts Options) (*Env, error) {
