@@ -165,7 +165,11 @@ func runJSONReport(path, label string) {
 		fmt.Fprintf(os.Stderr, "  %-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 	}
-	rep, err := bench.RunReport(label, time.Now().Format("2006-01-02"), progress)
+	latProgress := func(res bench.LatencyResult) {
+		fmt.Fprintf(os.Stderr, "  %-28s %-10s rollback-wasted=%-10d re-exec=%-6d threads-observed=%d\n",
+			res.Name, res.VM, res.RollbackWasted.Sum, res.Reexecutions, len(res.BlockingPerThread))
+	}
+	rep, err := bench.RunReport(label, time.Now().Format("2006-01-02"), progress, latProgress)
 	if err != nil {
 		fatal(err)
 	}

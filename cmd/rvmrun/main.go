@@ -5,22 +5,34 @@
 // Usage:
 //
 //	rvmrun [-vm unmodified|revocation] [-rewrite] [-static] [-threaded]
-//	       [-quantum N] [-trace] [-disasm] [-stats] program.rvm
+//	       [-quantum N] [-trace] [-disasm] [-stats]
+//	       [-trace-out FILE] [-trace-format text|jsonl|perfetto]
+//	       [-metrics text|json] [-metrics-out FILE] program.rvm
 //
 // The program file uses the assembler syntax of internal/bytecode (see the
 // Assemble documentation and examples/bytecode/inversion.rvm). Threads are
 // declared with `thread NAME priority N run METHOD`.
+//
+// Observability: -trace-out with -trace-format=jsonl streams the run as
+// schema-versioned JSON lines (validate with cmd/tracecheck);
+// -trace-format=perfetto writes a Chrome trace-event JSON file that opens
+// directly in ui.perfetto.dev, with one track per VM thread and flow arrows
+// from each revocation request to the rollback it caused. -metrics prints
+// virtual-time latency histograms (per-monitor hold, per-thread blocking,
+// rollback wasted ticks) with p50/p90/p99 in ticks.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -39,12 +51,30 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print an ASCII schedule timeline at the end")
 		disasm    = flag.Bool("disasm", false, "print the (rewritten) program and exit")
 		stats     = flag.Bool("stats", true, "print runtime statistics at the end")
+
+		traceOut    = flag.String("trace-out", "", "write the trace to FILE (- for stdout)")
+		traceFormat = flag.String("trace-format", "text", "trace file format: text, jsonl or perfetto")
+		metrics     = flag.String("metrics", "", "print latency histograms at the end: text or json")
+		metricsOut  = flag.String("metrics-out", "", "write metrics to FILE instead of stderr (- for stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rvmrun [flags] program.rvm")
 		flag.Usage()
 		os.Exit(2)
+	}
+	switch *traceFormat {
+	case "text", "jsonl", "perfetto":
+	default:
+		fatal(fmt.Errorf("unknown -trace-format %q (want text, jsonl or perfetto)", *traceFormat))
+	}
+	switch *metrics {
+	case "", "text", "json":
+	default:
+		fatal(fmt.Errorf("unknown -metrics %q (want text or json)", *metrics))
+	}
+	if *traceFormat != "text" && *traceOut == "" {
+		fatal(fmt.Errorf("-trace-format=%s requires -trace-out FILE", *traceFormat))
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -97,6 +127,7 @@ func main() {
 		return
 	}
 
+	// Base tracer: stderr narration and/or the timeline recorder.
 	var rec trace.Recorder
 	var sink trace.Sink = trace.Discard
 	switch {
@@ -107,24 +138,59 @@ func main() {
 	case *timeline:
 		sink = &rec
 	}
+
+	// Observability sinks ride on Config.Observer, multiplexed by the
+	// runtime next to the base tracer; a plain run keeps Observer nil and
+	// pays nothing.
+	var (
+		obsSinks  trace.Multi
+		observer  *obs.Observer
+		jsonl     *obs.JSONLWriter
+		traceFile io.WriteCloser
+	)
+	if *traceOut != "" {
+		traceFile, err = createOut(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		switch *traceFormat {
+		case "text":
+			obsSinks = append(obsSinks, trace.Writer{W: traceFile})
+		case "jsonl":
+			jsonl = obs.NewJSONLWriter(traceFile)
+			obsSinks = append(obsSinks, jsonl)
+		}
+	}
+	if *metrics != "" || *traceFormat == "perfetto" {
+		observer = obs.NewObserver()
+		obsSinks = append(obsSinks, observer)
+	}
+	var obsSink trace.Sink
+	switch len(obsSinks) {
+	case 0:
+	case 1:
+		obsSink = obsSinks[0]
+	default:
+		obsSink = obsSinks
+	}
+
 	rt := core.New(core.Config{
 		Mode:              mode,
 		TrackDependencies: true,
 		DeadlockDetection: mode == core.Revocation,
 		Tracer:            sink,
+		Observer:          obsSink,
 		Sched:             sched.Config{Quantum: simtime.Ticks(*quantum), Seed: *seed},
 	})
-	env, err := interp.Run(rt, prog, interp.Options{
+	env, runErr := interp.Run(rt, prog, interp.Options{
 		Rewritten: *doRewrite,
 		Threaded:  *threaded,
 		Facts:     facts,
 		Out:       os.Stdout,
 	})
-	if err != nil {
-		if env != nil && *stats {
-			printStats(rt)
-		}
-		fatal(err)
+	if runErr != nil && env == nil {
+		finishExports(traceFile, jsonl, observer, *traceFormat)
+		fatal(runErr)
 	}
 
 	if *timeline {
@@ -134,7 +200,81 @@ func main() {
 	if *stats {
 		printStats(rt)
 	}
+	if observer != nil && *metrics != "" {
+		if err := writeMetrics(observer, *metrics, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if err := finishExports(traceFile, jsonl, observer, *traceFormat); err != nil {
+		fatal(err)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
 }
+
+// finishExports completes the trace file: flushes the JSONL stream or
+// serializes the Perfetto trace from the observer, then closes the file.
+func finishExports(f io.WriteCloser, jsonl *obs.JSONLWriter, o *obs.Observer, format string) error {
+	if f == nil {
+		return nil
+	}
+	var err error
+	if jsonl != nil {
+		err = jsonl.Close()
+	}
+	if format == "perfetto" && o != nil {
+		if werr := obs.WritePerfetto(f, o); err == nil {
+			err = werr
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeMetrics(o *obs.Observer, format, path string) error {
+	var w io.Writer = os.Stderr
+	closeW := func() error { return nil }
+	switch path {
+	case "":
+	case "-":
+		w = os.Stdout
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w = f
+		closeW = f.Close
+	}
+	var err error
+	if format == "json" {
+		err = o.Metrics().WriteJSON(w)
+	} else {
+		if path == "" {
+			fmt.Fprintln(w)
+		}
+		o.Metrics().Render(w)
+	}
+	if cerr := closeW(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// createOut opens FILE for writing; "-" selects stdout (not closed).
+func createOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
 
 func printStats(rt *core.Runtime) {
 	st := rt.Stats()

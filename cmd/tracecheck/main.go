@@ -1,0 +1,61 @@
+// Command tracecheck validates a JSONL trace produced by
+// `rvmrun -trace-out FILE -trace-format=jsonl` against the rvm-trace
+// schema: a leading meta line carrying the schema version and the complete
+// kind vocabulary, followed by event lines with known kinds and
+// non-negative timestamps. CI runs it over example traces so a schema
+// drift (renamed kind, missing meta field) fails the build instead of
+// silently breaking downstream consumers.
+//
+// Usage:
+//
+//	tracecheck FILE...         validate each file, report event counts
+//	tracecheck -               validate standard input
+//
+// Exit status is 0 when every input validates, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE...   (or '-' for stdin)")
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range args {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	n, err := obs.ValidateJSONL(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (schema v%d, %d events)\n", path, obs.SchemaVersion, n)
+	return nil
+}

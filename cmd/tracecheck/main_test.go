@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func TestCheckValidAndInvalid(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.jsonl")
+	f, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewJSONLWriter(f)
+	w.Emit(trace.Event{At: 1, Kind: trace.ThreadStart, Thread: "T", N: 5})
+	w.Emit(trace.Event{At: 9, Kind: trace.Rollback, Thread: "T", Object: "M", N: 3})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := check(good); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"type\":\"meta\",\"v\":99}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(bad); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+
+	if err := check(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

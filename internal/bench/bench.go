@@ -24,8 +24,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // VM selects which virtual machine executes a cell.
@@ -122,6 +124,20 @@ type CellResult struct {
 
 // RunCell executes one benchmark cell deterministically.
 func RunCell(vm VM, p Params) (CellResult, error) {
+	return runCell(vm, p, nil)
+}
+
+// RunCellObserved executes one cell with an obs.Observer attached via the
+// runtime's Observer option, returning the reconstruction (causal spans,
+// latency histograms) alongside the timing result. Observation perturbs
+// nothing: virtual time is unaffected by the extra sink.
+func RunCellObserved(vm VM, p Params) (CellResult, *obs.Observer, error) {
+	o := obs.NewObserver()
+	res, err := runCell(vm, p, o)
+	return res, o, err
+}
+
+func runCell(vm VM, p Params, observer trace.Sink) (CellResult, error) {
 	p.DefaultCosts()
 	mode := core.Unmodified
 	if vm == Modified {
@@ -134,6 +150,7 @@ func RunCell(vm VM, p Params) (CellResult, error) {
 		CostWrite:         p.CostWrite,
 		CostLogEntry:      p.CostLogEntry,
 		CostUndoEntry:     p.CostUndoEntry,
+		Observer:          observer,
 		Sched:             sched.Config{Quantum: p.Quantum, Seed: p.Seed},
 	})
 	buf := rt.Heap().AllocArray(p.BufferLen)

@@ -1,0 +1,64 @@
+// Latency recording: representative benchmark cells run with an
+// obs.Observer attached, so every results/BENCH_*.json report carries the
+// per-thread blocking-time distributions behind the Figure 5–8 elapsed
+// times — the paper's claim is precisely that revocation trades low-thread
+// wasted work for high-thread blocking time, and the histograms make that
+// trade visible per report.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// LatencyResult is the observability profile of one observed cell.
+type LatencyResult struct {
+	Name string `json:"name"`
+	VM   string `json:"vm"`
+	// BlockingPerThread maps thread name to its blocked-on-monitor time
+	// distribution in virtual ticks.
+	BlockingPerThread map[string]obs.HistSummary `json:"blocking_per_thread"`
+	// RollbackWasted is the distribution of discarded work per rollback.
+	RollbackWasted obs.HistSummary `json:"rollback_wasted"`
+	// Reexecutions is the total section re-execution count.
+	Reexecutions int64 `json:"reexecutions"`
+	// WastedTicks is the runtime's own wasted-work counter; it equals
+	// RollbackWasted.Sum by construction (the reconciliation the obs tests
+	// pin down).
+	WastedTicks int64 `json:"wasted_ticks"`
+}
+
+// RunLatency runs one representative cell per thread mix (write ratio 40 %,
+// ScaleSmall) on both VMs with observation enabled and returns the latency
+// profiles. progress, if non-nil, is called with each finished result.
+func RunLatency(progress func(LatencyResult)) ([]LatencyResult, error) {
+	var out []LatencyResult
+	for _, mix := range Mixes {
+		for _, vm := range []VM{Unmodified, Modified} {
+			p := CellParams(ScaleSmall, true, mix, 40)
+			res, o, err := RunCellObserved(vm, p)
+			if err != nil {
+				return nil, fmt.Errorf("bench: latency cell %v/%v: %w", mix, vm, err)
+			}
+			lr := LatencyResult{
+				Name:              fmt.Sprintf("Latency/%dhigh%dlow_w40", mix.High, mix.Low),
+				VM:                vm.String(),
+				BlockingPerThread: make(map[string]obs.HistSummary),
+				RollbackWasted:    o.Metrics().RollbackWasted().Summary(),
+				WastedTicks:       int64(res.Stats.WastedTicks),
+			}
+			for _, n := range o.Metrics().Reexecutions() {
+				lr.Reexecutions += n
+			}
+			for name, h := range o.Metrics().BlockingPerThreadAll() {
+				lr.BlockingPerThread[name] = h.Summary()
+			}
+			out = append(out, lr)
+			if progress != nil {
+				progress(lr)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunCellObservedMatchesPlain checks observation is a pure read: the
+// same cell with and without an observer produces identical virtual-time
+// results, and the observed histograms reconcile with the runtime stats.
+func TestRunCellObservedMatchesPlain(t *testing.T) {
+	p := CellParams(ScaleSmall, true, Mix{2, 2}, 60)
+	plain, err := RunCell(Modified, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, o, err := RunCellObserved(Modified, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HighSpan != observed.HighSpan || plain.OverallSpan != observed.OverallSpan {
+		t.Errorf("observation perturbed the run: plain %d/%d, observed %d/%d",
+			plain.HighSpan, plain.OverallSpan, observed.HighSpan, observed.OverallSpan)
+	}
+	if plain.Stats != observed.Stats {
+		t.Errorf("stats diverged:\nplain    %+v\nobserved %+v", plain.Stats, observed.Stats)
+	}
+	if got, want := o.Metrics().RollbackWasted().Sum(), int64(observed.Stats.WastedTicks); got != want {
+		t.Errorf("wasted reconciliation: histogram %d, stats %d", got, want)
+	}
+	if o.Dropped() != 0 {
+		t.Errorf("dropped = %d events", o.Dropped())
+	}
+}
+
+func TestRunLatencyProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all six observed cells")
+	}
+	var calls int
+	lats, err := RunLatency(func(LatencyResult) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Mixes) * 2; len(lats) != want || calls != want {
+		t.Fatalf("got %d results, %d callbacks, want %d", len(lats), calls, want)
+	}
+	var sawBlocking, sawWaste bool
+	for _, lr := range lats {
+		if lr.Name == "" || lr.VM == "" {
+			t.Errorf("unlabelled result: %+v", lr)
+		}
+		if lr.RollbackWasted.Sum != lr.WastedTicks {
+			t.Errorf("%s/%s: rollback histogram %d != wasted ticks %d",
+				lr.Name, lr.VM, lr.RollbackWasted.Sum, lr.WastedTicks)
+		}
+		if lr.VM == Unmodified.String() && lr.RollbackWasted.Sum != 0 {
+			t.Errorf("%s: unmodified VM wasted %d ticks", lr.Name, lr.RollbackWasted.Sum)
+		}
+		if len(lr.BlockingPerThread) > 0 {
+			sawBlocking = true
+		}
+		if lr.VM == Modified.String() && lr.RollbackWasted.Sum > 0 {
+			sawWaste = true
+		}
+	}
+	if !sawBlocking {
+		t.Error("no cell recorded blocking time under contention")
+	}
+	if !sawWaste {
+		t.Error("no modified cell recorded rollback waste")
+	}
+	// The profiles must serialize into the report JSON.
+	data, err := json.Marshal(Report{Label: "t", Latency: lats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Latency) != len(lats) {
+		t.Fatalf("round trip lost latency results: %d != %d", len(back.Latency), len(lats))
+	}
+}

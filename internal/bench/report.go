@@ -35,6 +35,9 @@ type Report struct {
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	Benchmarks []BenchResult `json:"benchmarks"`
+	// Latency holds the per-thread blocking-time and rollback wasted-work
+	// distributions of representative observed cells (see RunLatency).
+	Latency []LatencyResult `json:"latency,omitempty"`
 }
 
 // measure runs one benchmark body under testing.Benchmark.
@@ -53,9 +56,10 @@ func measure(name string, body func(b *testing.B)) BenchResult {
 }
 
 // RunReport executes the benchmark suite: the three barrier/rollback
-// micro-benchmarks and all twelve figure panels at ScaleSmall. progress, if
-// non-nil, is called with each finished result.
-func RunReport(label, date string, progress func(BenchResult)) (Report, error) {
+// micro-benchmarks, all twelve figure panels at ScaleSmall, and the
+// observed latency cells (RunLatency). progress and latProgress, if
+// non-nil, are called with each finished result.
+func RunReport(label, date string, progress func(BenchResult), latProgress func(LatencyResult)) (Report, error) {
 	rep := Report{
 		Label:     label,
 		Date:      date,
@@ -113,6 +117,12 @@ func RunReport(label, date string, progress func(BenchResult)) (Report, error) {
 			}
 		}
 	}
+
+	lat, err := RunLatency(latProgress)
+	if err != nil {
+		return rep, err
+	}
+	rep.Latency = lat
 	return rep, nil
 }
 

@@ -142,6 +142,12 @@ type Config struct {
 	// a configured Ceiling raises the owner to that priority.
 	PriorityCeiling bool
 
+	// Observer, when non-nil, receives every runtime event alongside
+	// Tracer (internal/obs.Observer reconstructs causal spans and latency
+	// histograms from the stream). A nil Observer adds no multiplexing
+	// cost: the tracer is used directly.
+	Observer trace.Sink
+
 	// FIFOMonitorQueues disables the paper's prioritized monitor queues:
 	// monitors created by this runtime serve waiters in arrival order.
 	// Used by the queue-discipline ablation (the paper implemented
@@ -168,6 +174,13 @@ func (c *Config) fill() {
 	}
 	if c.Tracer == nil {
 		c.Tracer = trace.Discard
+	}
+	if c.Observer != nil {
+		if c.Tracer == trace.Discard {
+			c.Tracer = c.Observer
+		} else {
+			c.Tracer = trace.Multi{c.Tracer, c.Observer}
+		}
 	}
 	if c.Sched.Tracer == nil {
 		c.Sched.Tracer = c.Tracer
@@ -687,7 +700,8 @@ func (t *Task) Synchronized(m *monitor.Monitor, body func()) {
 		}
 		t.reexecutions++
 		t.rt.stats.Reexecutions++
-		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.Reexecution, Thread: t.Name(), Object: m.Name(), Detail: fmt.Sprintf("attempt=%d", f.attempts+1)})
+		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.Reexecution, Thread: t.Name(), Object: m.Name(),
+			N: int64(f.attempts + 1), Detail: fmt.Sprintf("attempt=%d", f.attempts+1)})
 		if sig.reason == "deadlock" {
 			backoff := t.rt.cfg.DeadlockBackoff
 			if backoff <= 0 {
@@ -731,6 +745,7 @@ func (t *Task) enter(m *monitor.Monitor) {
 		if owner == nil {
 			// Free, but a higher-priority thread is queued ahead of us
 			// (the paper's prioritized admission): just wait our turn.
+			rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorBlocked, Thread: t.Name(), Object: m.Name(), Detail: "queued"})
 			rt.waiting[t] = m
 			kind := m.BlockOn(t.th)
 			delete(rt.waiting, t)
@@ -742,7 +757,7 @@ func (t *Task) enter(m *monitor.Monitor) {
 		ownerTask, _ := owner.Data.(*Task)
 		if t.th.Priority() > m.OwnerPriority() {
 			rt.stats.Inversions++
-			rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.InversionDetected, Thread: t.Name(), Object: m.Name(),
+			rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.InversionDetected, Thread: t.Name(), Object: m.Name(), Other: owner.Name(),
 				Detail: fmt.Sprintf("owner=%s prio=%d<%d", owner.Name(), m.OwnerPriority(), t.th.Priority())})
 			if rt.cfg.Mode == Revocation && (rt.cfg.Detect == DetectOnAcquire || rt.cfg.Detect == DetectBoth) && ownerTask != nil {
 				if !rt.requestRevocation(ownerTask, m, "priority-inversion", t.Name()) && rt.cfg.InheritOnDenied {
@@ -761,7 +776,7 @@ func (t *Task) enter(m *monitor.Monitor) {
 				t.deliverRevocation()
 			}
 		}
-		rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorBlocked, Thread: t.Name(), Object: m.Name()})
+		rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorBlocked, Thread: t.Name(), Object: m.Name(), Other: owner.Name()})
 		kind := m.BlockOn(t.th)
 		delete(rt.waiting, t)
 		if kind == sched.WakeGranted {
@@ -771,7 +786,7 @@ func (t *Task) enter(m *monitor.Monitor) {
 			if req := t.revokeReq; req != nil && req.mon == m && req.monGen == m.Gen() && t.firstFrameOf(m) < 0 {
 				t.revokeReq = nil
 				rt.stats.PreemptedGrants++
-				rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.Rollback, Thread: t.Name(), Object: m.Name(),
+				rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.Rollback, Thread: t.Name(), Object: m.Name(), Other: req.requester,
 					Detail: fmt.Sprintf("reason=%s undone=0 (pending grant)", req.reason)})
 				m.ForceRelease(t.th)
 				continue
@@ -856,7 +871,7 @@ func (rt *Runtime) requestRevocation(victim *Task, m *monitor.Monitor, reason, r
 		rt.stats.RevocationRequests++
 		rt.sch.Expedite(victim.th)
 		rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.RevokeRequested, Thread: victim.Name(), Object: m.Name(),
-			Detail: fmt.Sprintf("reason=%s requester=%s pending-grant", reason, requester)})
+			Other: requester, Detail: fmt.Sprintf("reason=%s requester=%s pending-grant", reason, requester)})
 		return true
 	}
 	if nr, why := m.NonRevocable(); nr {
@@ -878,7 +893,7 @@ func (rt *Runtime) requestRevocation(victim *Task, m *monitor.Monitor, reason, r
 	victim.revokeReq = req
 	rt.stats.RevocationRequests++
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.RevokeRequested, Thread: victim.Name(), Object: m.Name(),
-		Detail: fmt.Sprintf("reason=%s requester=%s", reason, requester)})
+		Other: requester, Detail: fmt.Sprintf("reason=%s requester=%s", reason, requester)})
 	// A blocked or sleeping victim cannot reach a yield point on its own:
 	// interrupt it so the request is delivered promptly.
 	switch victim.th.State() {
@@ -961,10 +976,12 @@ func (t *Task) deliverRevocation() {
 			rt.unboost(t)
 		}
 	}
+	wasted := t.th.CPU() - target.startCPU
 	t.rollbacks++
 	rt.stats.Rollbacks++
-	rt.stats.WastedTicks += t.th.CPU() - target.startCPU
+	rt.stats.WastedTicks += wasted
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.Rollback, Thread: t.Name(), Object: req.mon.Name(),
+		Other: req.requester, N: int64(wasted),
 		Detail: fmt.Sprintf("reason=%s undone=%d requester=%s", req.reason, undone, req.requester)})
 	// 3. Transfer control back to the start of the section. frames are
 	// popped by the unwinding Synchronized activations; record the attempt

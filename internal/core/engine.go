@@ -128,7 +128,7 @@ func (t *Task) EngineUnwind(info RevokeInfo) int {
 	t.reexecutions++
 	t.rt.stats.Reexecutions++
 	t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.Reexecution, Thread: t.Name(), Object: f.mon.Name(),
-		Detail: fmt.Sprintf("attempt=%d engine", f.attempts+1)})
+		N: int64(f.attempts + 1), Detail: fmt.Sprintf("attempt=%d engine", f.attempts+1)})
 	if info.Reason == "deadlock" {
 		backoff := t.rt.cfg.DeadlockBackoff
 		if backoff <= 0 {

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// Histogram accumulates virtual-time (tick) samples and answers exact
+// percentile and total queries. Samples are retained: runs on the simulated
+// VM emit at most a few thousand latency samples, and exact totals are a
+// hard requirement (the rollback wasted-ticks histogram must reconcile
+// tick-for-tick with core.Stats.WastedTicks). Percentiles use the
+// nearest-rank definition on the sorted sample set.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	samples []int64
+	sum     int64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return int64(len(h.samples)) }
+
+// Sum returns the exact total of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the nearest-rank p-th percentile (p in (0, 100]), or 0
+// when the histogram is empty.
+func (h *Histogram) Percentile(p float64) int64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sortSamples()
+	rank := int(p / 100 * float64(n))
+	if float64(rank)*100 < p*float64(n) { // ceil without float drift
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return h.samples[rank-1]
+}
+
+func (h *Histogram) sortSamples() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// HistSummary is the serializable digest of a histogram: exact count/total
+// plus the percentiles the evaluation reports.
+type HistSummary struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
+// Summary digests the histogram.
+func (h *Histogram) Summary() HistSummary {
+	return HistSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+	}
+}
+
+// Bucket is one power-of-two bin of a rendered histogram: samples v with
+// Lo <= v <= Hi.
+type Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// Buckets bins the samples into power-of-two buckets ([0,0], [1,1], [2,3],
+// [4,7], ...) for ASCII rendering. Empty leading/trailing buckets are
+// omitted; interior empty buckets are kept so the shape reads correctly.
+func (h *Histogram) Buckets() []Bucket {
+	if len(h.samples) == 0 {
+		return nil
+	}
+	counts := map[int]int64{}
+	maxIdx := 0
+	for _, v := range h.samples {
+		idx := bucketIndex(v)
+		counts[idx]++
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	minIdx := maxIdx
+	for idx := range counts {
+		if idx < minIdx {
+			minIdx = idx
+		}
+	}
+	var out []Bucket
+	for idx := minIdx; idx <= maxIdx; idx++ {
+		lo, hi := bucketBounds(idx)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: counts[idx]})
+	}
+	return out
+}
+
+// bucketIndex maps a sample to its bucket: 0 → [0,0], i>0 → [2^(i-1), 2^i-1].
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx == 0 {
+		return 0, 0
+	}
+	return int64(1) << (idx - 1), (int64(1) << idx) - 1
+}
+
+// renderLine writes a one-line digest of the histogram.
+func renderLine(w io.Writer, label string, h *Histogram) {
+	s := h.Summary()
+	fmt.Fprintf(w, "  %-24s n=%-6d total=%-10d p50=%-8d p90=%-8d p99=%-8d max=%d\n",
+		label, s.Count, s.Sum, s.P50, s.P90, s.P99, s.Max)
+}

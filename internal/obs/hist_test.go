@@ -1,0 +1,92 @@
+package obs
+
+import "testing"
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram: count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 0 {
+		t.Fatalf("empty p50 = %d, want 0", got)
+	}
+	if b := h.Buckets(); b != nil {
+		t.Fatalf("empty Buckets = %v, want nil", b)
+	}
+}
+
+func TestHistogramPercentilesNearestRank(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{50, 50}, {90, 90}, {99, 99}, {100, 100}, {1, 1}}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if h.Sum() != 5050 {
+		t.Errorf("sum = %d, want 5050", h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	if got := h.Percentile(50); got != 10 {
+		t.Fatalf("p50 = %d", got)
+	}
+	h.Observe(1) // must re-sort
+	if got := h.Percentile(50); got != 1 {
+		t.Fatalf("p50 after new sample = %d, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 100} {
+		h.Observe(v)
+	}
+	buckets := h.Buckets()
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	var total int64
+	for _, b := range buckets {
+		if b.Lo > b.Hi {
+			t.Errorf("bucket [%d,%d] inverted", b.Lo, b.Hi)
+		}
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	// [0,0]=1, [1,1]=1, [2,3]=2, [4,7]=2, [8,15]=1, ..., [64,127]=1
+	if buckets[0].Lo != 0 || buckets[0].Hi != 0 || buckets[0].Count != 1 {
+		t.Errorf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[2].Lo != 2 || buckets[2].Hi != 3 || buckets[2].Count != 2 {
+		t.Errorf("bucket 2 = %+v", buckets[2])
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{5, 10, 15} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 3 || s.Sum != 30 || s.Min != 5 || s.Max != 15 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 10 {
+		t.Fatalf("p50 = %d, want 10", s.P50)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// SchemaVersion is the version stamped on every JSONL trace and metrics
+// summary this package emits. Bump it when a field or kind name changes
+// meaning; consumers reject traces from a different major schema.
+const SchemaVersion = 1
+
+// SchemaName identifies the JSONL stream format.
+const SchemaName = "rvm-trace"
+
+// jsonlMeta is the mandatory first line of a JSONL trace.
+type jsonlMeta struct {
+	Type   string   `json:"type"` // "meta"
+	V      int      `json:"v"`
+	Schema string   `json:"schema"`
+	Kinds  []string `json:"kinds"` // every kind name the stream may use
+}
+
+// jsonlEvent is one event line of a JSONL trace.
+type jsonlEvent struct {
+	Type   string `json:"type"` // "event"
+	At     int64  `json:"at"`
+	Kind   string `json:"kind"`
+	Thread string `json:"thread,omitempty"`
+	Object string `json:"object,omitempty"`
+	Other  string `json:"other,omitempty"`
+	N      int64  `json:"n,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// JSONLWriter is a trace.Sink that streams events as schema-versioned JSON
+// lines: one meta line (version, schema name, kind vocabulary) followed by
+// one line per event. Errors are sticky and surfaced by Close.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter creates a writer and emits the meta line.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	j := &JSONLWriter{w: bw, enc: json.NewEncoder(bw)}
+	j.err = j.enc.Encode(jsonlMeta{Type: "meta", V: SchemaVersion, Schema: SchemaName, Kinds: KindNames()})
+	return j
+}
+
+// Emit writes one event line. Implements trace.Sink.
+func (j *JSONLWriter) Emit(e trace.Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonlEvent{
+		Type: "event", At: int64(e.At), Kind: e.Kind.String(),
+		Thread: e.Thread, Object: e.Object, Other: e.Other, N: e.N, Detail: e.Detail,
+	})
+}
+
+// Close flushes buffered lines and returns the first error encountered.
+func (j *JSONLWriter) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// KindNames returns the stable names of every trace kind, in declaration
+// order. This is the JSONL kind vocabulary; the golden test in
+// jsonl_test.go pins it so a rename breaks loudly.
+func KindNames() []string {
+	kinds := trace.AllKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// ValidateJSONL checks a JSONL trace stream against the schema: a leading
+// meta line with the expected version and schema name, then event lines
+// whose kind is in the declared vocabulary and whose timestamp is
+// non-negative and non-decreasing-safe (>= 0). It returns the number of
+// validated event lines.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("obs: empty trace (missing meta line)")
+	}
+	var meta jsonlMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return 0, fmt.Errorf("obs: line 1: %v", err)
+	}
+	if meta.Type != "meta" {
+		return 0, fmt.Errorf("obs: line 1: type %q, want \"meta\"", meta.Type)
+	}
+	if meta.V != SchemaVersion {
+		return 0, fmt.Errorf("obs: line 1: schema version %d, want %d", meta.V, SchemaVersion)
+	}
+	if meta.Schema != SchemaName {
+		return 0, fmt.Errorf("obs: line 1: schema %q, want %q", meta.Schema, SchemaName)
+	}
+	known := make(map[string]bool, len(meta.Kinds))
+	for _, k := range meta.Kinds {
+		known[k] = true
+	}
+	// The declared vocabulary must itself be the current one: a trace from
+	// a renamed build fails here rather than silently passing events.
+	for _, k := range KindNames() {
+		if !known[k] {
+			return 0, fmt.Errorf("obs: line 1: meta kinds missing %q", k)
+		}
+	}
+	n := 0
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return n, fmt.Errorf("obs: line %d: %v", line, err)
+		}
+		if ev.Type != "event" {
+			return n, fmt.Errorf("obs: line %d: type %q, want \"event\"", line, ev.Type)
+		}
+		if !known[ev.Kind] {
+			return n, fmt.Errorf("obs: line %d: unknown kind %q", line, ev.Kind)
+		}
+		if ev.At < 0 {
+			return n, fmt.Errorf("obs: line %d: negative timestamp %d", line, ev.At)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

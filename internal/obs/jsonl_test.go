@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// goldenKinds pins the JSONL kind vocabulary. A rename or reorder in
+// internal/trace changes the wire format every downstream consumer parses,
+// so it must fail this test loudly and force a SchemaVersion bump review.
+var goldenKinds = []string{
+	"thread-start",
+	"thread-end",
+	"context-switch",
+	"monitor-enter",
+	"monitor-acquired",
+	"monitor-blocked",
+	"monitor-exit",
+	"inversion-detected",
+	"revoke-requested",
+	"revoke-denied",
+	"rollback",
+	"re-execution",
+	"non-revocable",
+	"deadlock-detected",
+	"deadlock-broken",
+	"wait-start",
+	"wait-end",
+	"notify",
+	"native-call",
+	"volatile-write",
+	"volatile-read",
+	"custom",
+	"static-premark",
+}
+
+func TestKindNamesGolden(t *testing.T) {
+	got := KindNames()
+	if len(got) != len(goldenKinds) {
+		t.Fatalf("kind vocabulary has %d names, golden has %d — new kinds must be appended to the golden list (and consumers reviewed): %v",
+			len(got), len(goldenKinds), got)
+	}
+	for i, want := range goldenKinds {
+		if got[i] != want {
+			t.Errorf("kind %d = %q, want %q — renaming a kind changes the JSONL wire format; bump SchemaVersion", i, got[i], want)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	events := []trace.Event{
+		ev(0, trace.ThreadStart, "T1", "", "", 8),
+		ev(5, trace.MonitorAcquired, "T1", "M", "", 0),
+		ev(9, trace.RevokeRequested, "T1", "M", "T2", 0),
+		ev(12, trace.Rollback, "T1", "M", "T2", 7),
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateJSONL: %v\n%s", err, buf.String())
+	}
+	if n != len(events) {
+		t.Fatalf("validated %d events, want %d", n, len(events))
+	}
+	// Payload fields survive the trip.
+	if !strings.Contains(buf.String(), `"other":"T2"`) || !strings.Contains(buf.String(), `"n":7`) {
+		t.Fatalf("payload fields missing:\n%s", buf.String())
+	}
+	// Exactly meta + events lines.
+	lines := strings.Count(strings.TrimRight(buf.String(), "\n"), "\n") + 1
+	if lines != len(events)+1 {
+		t.Fatalf("wrote %d lines, want %d", lines, len(events)+1)
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	meta := func() string {
+		var b bytes.Buffer
+		NewJSONLWriter(&b).Close()
+		return b.String()
+	}()
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"not json", "hello\n"},
+		{"wrong type", `{"type":"event","at":0,"kind":"rollback"}` + "\n"},
+		{"wrong version", `{"type":"meta","v":999,"schema":"rvm-trace","kinds":["rollback"]}` + "\n"},
+		{"wrong schema", `{"type":"meta","v":1,"schema":"other","kinds":["rollback"]}` + "\n"},
+		{"incomplete vocabulary", `{"type":"meta","v":1,"schema":"rvm-trace","kinds":["rollback"]}` + "\n"},
+		{"unknown kind", meta + `{"type":"event","at":1,"kind":"bogus"}` + "\n"},
+		{"negative timestamp", meta + `{"type":"event","at":-1,"kind":"rollback"}` + "\n"},
+		{"event wrong type", meta + `{"type":"meta","at":1,"kind":"rollback"}` + "\n"},
+	}
+	for _, c := range cases {
+		if _, err := ValidateJSONL(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: validated, want error", c.name)
+		}
+	}
+}
+
+func TestValidateJSONLAllowsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Emit(ev(3, trace.Rollback, "T", "M", "", 0))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n") // trailing blank line is tolerated
+	n, err := ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// TestEndToEndInversionReconciles runs the paper's Figure 1 scenario on a
+// real revocation runtime with an Observer multiplexed next to a Recorder
+// and checks the acceptance criterion: the rollback wasted-ticks histogram
+// total reconciles exactly with core.Stats.WastedTicks, and the causal
+// reconstruction (chain, spans, attribution) matches the scenario.
+func TestEndToEndInversionReconciles(t *testing.T) {
+	o := NewObserver()
+	var rec trace.Recorder
+	rt := core.New(core.Config{
+		Mode:     core.Revocation,
+		Sched:    sched.Config{Quantum: 50},
+		Tracer:   &rec,
+		Observer: o,
+	})
+	m := rt.NewMonitor("M")
+	rt.Spawn("Tl", sched.LowPriority, func(tk *core.Task) {
+		tk.Synchronized(m, func() {
+			tk.Work(500)
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *core.Task) {
+		tk.Work(10)
+		tk.Synchronized(m, func() {
+			tk.Work(50)
+		})
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Rollbacks == 0 {
+		t.Fatal("scenario produced no rollback")
+	}
+
+	// Acceptance: exact reconciliation of wasted work.
+	if got, want := o.Metrics().RollbackWasted().Sum(), int64(st.WastedTicks); got != want {
+		t.Errorf("rollback wasted histogram sum = %d, want Stats.WastedTicks = %d", got, want)
+	}
+	if got, want := o.Metrics().RollbackWasted().Count(), st.Rollbacks+st.PreemptedGrants; got != want {
+		t.Errorf("rollback samples = %d, want rollbacks+preempted grants = %d", got, want)
+	}
+
+	// Both sinks saw the identical stream (trace.Multi path).
+	if rec.Len() != len(o.Events()) {
+		t.Errorf("recorder saw %d events, observer %d", rec.Len(), len(o.Events()))
+	}
+
+	// The revocation chain: Th requested, Tl rolled back and re-executed.
+	var complete *Chain
+	for _, c := range o.Chains() {
+		if c.RolledBack && c.Reexecuted {
+			complete = c
+			break
+		}
+	}
+	if complete == nil {
+		t.Fatalf("no complete revocation chain; chains = %d", len(o.Chains()))
+	}
+	if complete.Requester != "Th" || complete.Victim != "Tl" || complete.Monitor != "M" {
+		t.Errorf("chain attribution = requester %q victim %q monitor %q", complete.Requester, complete.Victim, complete.Monitor)
+	}
+	if complete.Reason != "priority-inversion" {
+		t.Errorf("chain reason = %q", complete.Reason)
+	}
+	if !complete.HasDetected || complete.DetectedAt > complete.RequestedAt ||
+		complete.RequestedAt > complete.RolledBackAt || complete.RolledBackAt > complete.ReexecutedAt {
+		t.Errorf("chain not causally ordered: %+v", *complete)
+	}
+
+	// Span reconstruction: rolled-back hold spans for Tl whose wasted
+	// ticks sum to the runtime total, and Th's blocking span attributed
+	// to Tl.
+	var rolledBack, blocked bool
+	var spanWasted simtime.Ticks
+	for _, s := range o.Spans() {
+		if s.Kind == SpanHold && s.Thread == "Tl" && s.RolledBack {
+			rolledBack = true
+			spanWasted += s.Wasted
+		}
+		if s.Kind == SpanBlock && s.Thread == "Th" && s.Holder == "Tl" {
+			blocked = true
+		}
+		if s.Unresolved {
+			t.Errorf("unresolved span in a clean run: %+v", s)
+		}
+	}
+	if !rolledBack {
+		t.Error("no rolled-back hold span for Tl")
+	}
+	if spanWasted != st.WastedTicks {
+		t.Errorf("span wasted sum = %d, want %d", spanWasted, st.WastedTicks)
+	}
+	if !blocked {
+		t.Error("no blocking span for Th attributed to Tl")
+	}
+	if o.Dropped() != 0 {
+		t.Errorf("dropped = %d on a real runtime stream", o.Dropped())
+	}
+
+	// Per-thread blocking time is recorded for the high-priority thread.
+	bh := o.Metrics().BlockingPerThread("Th")
+	if bh == nil || bh.Count() == 0 {
+		t.Error("no blocking-time samples for Th")
+	}
+}
+
+// TestContendedWorkloadCleanReconstruction drives several threads over
+// several monitors and checks the observer stays consistent at scale: no
+// dropped events, every span closes, wasted totals reconcile.
+func TestContendedWorkloadCleanReconstruction(t *testing.T) {
+	o := NewObserver()
+	rt := core.New(core.Config{
+		Mode:     core.Revocation,
+		Sched:    sched.Config{Quantum: 40, Seed: 7},
+		Observer: o,
+	})
+	mA := rt.NewMonitor("A")
+	mB := rt.NewMonitor("B")
+	mC := rt.NewMonitor("C")
+	for i := 0; i < 3; i++ {
+		rt.Spawn(fmt.Sprintf("low%d", i), sched.LowPriority, func(tk *core.Task) {
+			for j := 0; j < 4; j++ {
+				tk.Synchronized(mA, func() {
+					tk.Work(60)
+					tk.Synchronized(mB, func() { tk.Work(30) })
+				})
+				tk.Sleep(15)
+			}
+		})
+	}
+	for i := 0; i < 2; i++ {
+		rt.Spawn(fmt.Sprintf("high%d", i), sched.HighPriority, func(tk *core.Task) {
+			tk.Sleep(20)
+			for j := 0; j < 4; j++ {
+				tk.Synchronized(mA, func() { tk.Work(20) })
+				tk.Synchronized(mC, func() { tk.Work(10) })
+				tk.Sleep(25)
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if got, want := o.Metrics().RollbackWasted().Sum(), int64(st.WastedTicks); got != want {
+		t.Errorf("wasted sum = %d, want %d", got, want)
+	}
+	if o.Dropped() != 0 {
+		t.Errorf("dropped = %d", o.Dropped())
+	}
+	for _, s := range o.Spans() {
+		if s.Unresolved {
+			t.Errorf("unresolved span: %+v", s)
+		}
+		if s.Duration() < 0 {
+			t.Errorf("negative span: %+v", s)
+		}
+	}
+	if len(o.AllSpans()) != len(o.Spans()) {
+		t.Errorf("open spans remain after a clean run")
+	}
+	// Re-execution counts match the runtime's counter.
+	var reexecs int64
+	for _, n := range o.Metrics().Reexecutions() {
+		reexecs += n
+	}
+	if reexecs != st.Reexecutions {
+		t.Errorf("re-executions = %d, want %d", reexecs, st.Reexecutions)
+	}
+}
+
+// TestMetricsRenderAndJSON smoke-tests the two summary emitters.
+func TestMetricsRenderAndJSON(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 5),
+		ev(10, trace.MonitorAcquired, "T", "M", "", 0),
+		ev(40, trace.MonitorExit, "T", "M", "", 0),
+	)
+	var txt bytes.Buffer
+	o.Metrics().Render(&txt)
+	if txt.Len() == 0 {
+		t.Fatal("empty text render")
+	}
+	var js bytes.Buffer
+	if err := o.Metrics().WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(js.Bytes(), []byte("\"hold_per_monitor\"")) {
+		t.Fatalf("JSON summary missing sections: %s", js.String())
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// perfettoDoc mirrors the emitted JSON for structural validation.
+type perfettoDoc struct {
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ts   *int64         `json:"ts"`
+		Dur  *int64         `json:"dur"`
+		ID   int            `json:"id"`
+		BP   string         `json:"bp"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func writeDoc(t *testing.T, o *Observer) perfettoDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfettoDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestPerfettoStructure checks the acceptance shape on a real inversion
+// run: per-thread name metadata, X slices with ts/dur, and an s→f flow
+// pair from the revoke request to the rollback with matching ids.
+func TestPerfettoStructure(t *testing.T) {
+	o := NewObserver()
+	rt := core.New(core.Config{
+		Mode:     core.Revocation,
+		Sched:    sched.Config{Quantum: 50},
+		Observer: o,
+	})
+	m := rt.NewMonitor("M")
+	rt.Spawn("Tl", sched.LowPriority, func(tk *core.Task) {
+		tk.Synchronized(m, func() { tk.Work(400) })
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *core.Task) {
+		tk.Work(10)
+		tk.Synchronized(m, func() { tk.Work(40) })
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := writeDoc(t, o)
+	if doc.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+
+	threadNames := map[string]int{} // thread name -> tid
+	var processNamed bool
+	var slices, instants int
+	flows := map[int][2]int{} // id -> {s count, f count}
+	flowTid := map[int][2]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Pid != 1 {
+			t.Fatalf("event with pid %d, want 1: %+v", e.Pid, e)
+		}
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name":
+				processNamed = true
+			case "thread_name":
+				threadNames[e.Args["name"].(string)] = e.Tid
+			case "thread_sort_index":
+				if _, ok := e.Args["sort_index"]; !ok {
+					t.Error("thread_sort_index without sort_index arg")
+				}
+			}
+		case "X":
+			slices++
+			if e.Ts == nil || e.Dur == nil {
+				t.Fatalf("X slice without ts/dur: %+v", e)
+			}
+			if *e.Dur < 0 {
+				t.Errorf("negative dur: %+v", e)
+			}
+			if e.Tid == 0 {
+				t.Errorf("X slice without tid: %+v", e)
+			}
+		case "i":
+			instants++
+		case "s":
+			c := flows[e.ID]
+			c[0]++
+			flows[e.ID] = c
+			ft := flowTid[e.ID]
+			ft[0] = e.Tid
+			flowTid[e.ID] = ft
+		case "f":
+			c := flows[e.ID]
+			c[1]++
+			flows[e.ID] = c
+			ft := flowTid[e.ID]
+			ft[1] = e.Tid
+			flowTid[e.ID] = ft
+			if e.BP != "e" {
+				t.Errorf("flow end without bp=e: %+v", e)
+			}
+		}
+	}
+	if !processNamed {
+		t.Error("no process_name metadata")
+	}
+	for _, th := range []string{"Tl", "Th"} {
+		if _, ok := threadNames[th]; !ok {
+			t.Errorf("no thread_name metadata for %s (have %v)", th, threadNames)
+		}
+	}
+	if slices == 0 {
+		t.Error("no X slices")
+	}
+	if instants == 0 {
+		t.Error("no instant markers")
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flow arrows for a run with a rollback")
+	}
+	for id, c := range flows {
+		if c[0] != 1 || c[1] != 1 {
+			t.Errorf("flow %d has %d starts and %d ends, want 1/1", id, c[0], c[1])
+		}
+		// Request starts on the requester's track, ends on the victim's.
+		if flowTid[id][0] != threadNames["Th"] || flowTid[id][1] != threadNames["Tl"] {
+			t.Errorf("flow %d tracks = %v, want s on Th(%d) f on Tl(%d)",
+				id, flowTid[id], threadNames["Th"], threadNames["Tl"])
+		}
+	}
+}
+
+// TestPerfettoOpenSpansRendered checks that a truncated stream still
+// produces slices (materialized as unresolved at the last tick).
+func TestPerfettoOpenSpansRendered(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 5),
+		ev(10, trace.MonitorAcquired, "T", "M", "", 0),
+		ev(50, trace.ContextSwitch, "", "", "", 0),
+	)
+	doc := writeDoc(t, o)
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "hold M" {
+			found = true
+			if e.Args["unresolved"] != true {
+				t.Errorf("open span not marked unresolved: %+v", e)
+			}
+			if *e.Ts != 10 || *e.Dur != 40 {
+				t.Errorf("open span ts/dur = %d/%d, want 10/40", *e.Ts, *e.Dur)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("open hold span not rendered")
+	}
+}

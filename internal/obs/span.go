@@ -1,0 +1,99 @@
+// Package obs is the observability layer of the revocation runtime. It
+// consumes the flat trace.Sink event stream and reconstructs the causal
+// structure the paper's evaluation (Figures 5–8) measures:
+//
+//   - hold spans: monitor-held intervals (acquired → exit, or → rollback),
+//   - blocking spans: blocked → acquired intervals, attributed to the
+//     holder that caused the wait,
+//   - revocation chains: inversion-detected → revoke-requested → rollback
+//     → re-execution sequences, attributed to the requesting
+//     (high-priority) thread, carrying the wasted-work ticks.
+//
+// On top of spans a metrics registry aggregates virtual-time histograms
+// (per-monitor hold time and contention, per-thread blocking time, rollback
+// wasted ticks, re-execution counts), and two exporters serialize runs: a
+// schema-versioned JSONL structured-event stream and a Chrome trace-event /
+// Perfetto JSON file (one track per VM thread, flow arrows from
+// revoke-request to rollback) that opens directly in ui.perfetto.dev.
+package obs
+
+import "repro/internal/simtime"
+
+// SpanKind classifies a reconstructed span.
+type SpanKind int
+
+const (
+	// SpanHold is a monitor-held interval of one thread.
+	SpanHold SpanKind = iota
+	// SpanBlock is a blocked-on-monitor interval of one thread.
+	SpanBlock
+)
+
+func (k SpanKind) String() string {
+	if k == SpanBlock {
+		return "block"
+	}
+	return "hold"
+}
+
+// Span is one reconstructed interval of a thread's execution.
+type Span struct {
+	Kind    SpanKind
+	Thread  string
+	Monitor string
+	Start   simtime.Ticks
+	End     simtime.Ticks
+
+	// Depth is the synchronized-section nesting depth at acquisition
+	// (1 = outermost). Hold spans only.
+	Depth int
+
+	// Holder names the thread that owned the monitor when this thread
+	// blocked — the cause of the wait. Empty for admission-queue waits on a
+	// free monitor. Block spans only.
+	Holder string
+
+	// RolledBack marks a hold span closed by revocation rather than a
+	// normal exit.
+	RolledBack bool
+	// Wasted is the CPU work discarded by the rollback that closed this
+	// span, in ticks. Set on the outermost revoked span of a rollback (the
+	// paper's wasted-work measure); inner spans of the same rollback carry 0.
+	Wasted simtime.Ticks
+
+	// Unresolved marks a span that never saw its closing event: the thread
+	// ended while blocked, or the trace was truncated. End is the last tick
+	// the reconstruction saw the thread alive.
+	Unresolved bool
+}
+
+// Duration returns the span length in ticks.
+func (s Span) Duration() simtime.Ticks { return s.End - s.Start }
+
+// Chain is one reconstructed revocation chain. A chain is created by a
+// revoke-requested event and accretes the surrounding causality: the
+// inversion detection that triggered it, the rollback that executed it and
+// the re-execution that repaid it.
+type Chain struct {
+	ID        int    // stable per-observer sequence number (flow-arrow id)
+	Requester string // high-priority thread that requested the revocation
+	Victim    string // thread whose section was revoked
+	Monitor   string
+	Reason    string // "priority-inversion" or "deadlock" (from the request detail)
+
+	DetectedAt   simtime.Ticks // inversion-detected tick (when HasDetected)
+	RequestedAt  simtime.Ticks
+	RolledBackAt simtime.Ticks
+	ReexecutedAt simtime.Ticks
+	HasDetected  bool
+	RolledBack   bool
+	Reexecuted   bool
+	Denied       bool
+	// PendingGrant marks a revocation of a granted-but-unentered monitor
+	// handoff: the victim never executed the section, so no re-execution
+	// follows and no work was wasted.
+	PendingGrant bool
+
+	// Wasted is the CPU work in ticks the rollback discarded.
+	Wasted simtime.Ticks
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func ev(at simtime.Ticks, k trace.Kind, thread, object, other string, n int64) trace.Event {
+	return trace.Event{At: at, Kind: k, Thread: thread, Object: object, Other: other, N: n}
+}
+
+func feed(o *Observer, events ...trace.Event) {
+	for _, e := range events {
+		o.Emit(e)
+	}
+}
+
+func findSpans(spans []Span, kind SpanKind, thread string) []Span {
+	var out []Span
+	for _, s := range spans {
+		if s.Kind == kind && s.Thread == thread {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestHoldSpanBasic(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 5),
+		ev(10, trace.MonitorAcquired, "T", "M", "", 0),
+		ev(40, trace.MonitorExit, "T", "M", "", 0),
+		ev(50, trace.ThreadEnd, "T", "", "", 0),
+	)
+	holds := findSpans(o.Spans(), SpanHold, "T")
+	if len(holds) != 1 {
+		t.Fatalf("hold spans = %d, want 1", len(holds))
+	}
+	s := holds[0]
+	if s.Start != 10 || s.End != 40 || s.Duration() != 30 || s.Depth != 1 || s.RolledBack || s.Unresolved {
+		t.Fatalf("span = %+v", s)
+	}
+	if got := o.Metrics().HoldPerMonitor("M").Sum(); got != 30 {
+		t.Fatalf("hold histogram sum = %d, want 30", got)
+	}
+	if o.Dropped() != 0 {
+		t.Fatalf("dropped = %d", o.Dropped())
+	}
+}
+
+func TestBlockingSpanAttributedToHolder(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "low", "", "", 2),
+		ev(0, trace.ThreadStart, "high", "", "", 8),
+		ev(5, trace.MonitorAcquired, "low", "M", "", 0),
+		ev(10, trace.MonitorBlocked, "high", "M", "low", 0),
+		ev(30, trace.MonitorExit, "low", "M", "", 0),
+		ev(30, trace.MonitorAcquired, "high", "M", "", 0),
+		ev(50, trace.MonitorExit, "high", "M", "", 0),
+	)
+	blocks := findSpans(o.Spans(), SpanBlock, "high")
+	if len(blocks) != 1 {
+		t.Fatalf("block spans = %d, want 1", len(blocks))
+	}
+	b := blocks[0]
+	if b.Holder != "low" || b.Start != 10 || b.End != 30 {
+		t.Fatalf("block span = %+v", b)
+	}
+	if got := o.Metrics().BlockingPerThread("high").Sum(); got != 20 {
+		t.Fatalf("blocking sum = %d, want 20", got)
+	}
+	if got := o.Metrics().ContentionPerMonitor("M").Sum(); got != 20 {
+		t.Fatalf("contention sum = %d, want 20", got)
+	}
+}
+
+func TestRollbackClosesNestAndAssignsWaste(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "low", "", "", 2),
+		ev(5, trace.MonitorAcquired, "low", "A", "", 0),
+		ev(10, trace.MonitorAcquired, "low", "B", "", 0),
+		ev(20, trace.RevokeRequested, "low", "A", "high", 0),
+		ev(25, trace.Rollback, "low", "A", "high", 17),
+	)
+	holds := findSpans(o.Spans(), SpanHold, "low")
+	if len(holds) != 2 {
+		t.Fatalf("hold spans = %d, want 2 (both rolled back)", len(holds))
+	}
+	var outer, inner Span
+	for _, s := range holds {
+		if s.Monitor == "A" {
+			outer = s
+		} else {
+			inner = s
+		}
+	}
+	if !outer.RolledBack || !inner.RolledBack {
+		t.Fatalf("spans not marked rolled back: %+v %+v", outer, inner)
+	}
+	if outer.Wasted != 17 || inner.Wasted != 0 {
+		t.Fatalf("wasted: outer=%d inner=%d, want 17/0", outer.Wasted, inner.Wasted)
+	}
+	if got := o.Metrics().RollbackWasted().Sum(); got != 17 {
+		t.Fatalf("rollback wasted sum = %d, want 17", got)
+	}
+	chains := o.Chains()
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(chains))
+	}
+	c := chains[0]
+	if c.Requester != "high" || c.Victim != "low" || !c.RolledBack || c.Wasted != 17 {
+		t.Fatalf("chain = %+v", *c)
+	}
+}
+
+// Rollback without a matching acquisition must not corrupt state or panic;
+// it is counted as dropped (minus the metrics observation, which keeps the
+// wasted-ticks total faithful to what the runtime reported).
+func TestAdversarialRollbackWithoutEnter(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 5),
+		ev(10, trace.Rollback, "T", "M", "", 0),
+		ev(20, trace.MonitorAcquired, "T", "M", "", 0),
+		ev(30, trace.MonitorExit, "T", "M", "", 0),
+	)
+	if o.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", o.Dropped())
+	}
+	holds := findSpans(o.Spans(), SpanHold, "T")
+	if len(holds) != 1 || holds[0].RolledBack {
+		t.Fatalf("later spans corrupted: %+v", holds)
+	}
+}
+
+// A monitor-exit with no open span (or the wrong monitor on top) is dropped.
+func TestAdversarialExitMismatch(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.MonitorExit, "T", "M", "", 0),
+		ev(5, trace.MonitorAcquired, "T", "A", "", 0),
+		ev(10, trace.MonitorExit, "T", "B", "", 0),
+	)
+	if o.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", o.Dropped())
+	}
+}
+
+// A pending-grant rollback (no span was ever opened) completes its chain as
+// PendingGrant instead of dangling in await-reexecution.
+func TestPendingGrantRollback(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "low", "", "", 2),
+		ev(5, trace.RevokeRequested, "low", "M", "high", 0),
+		ev(6, trace.Rollback, "low", "M", "high", 0),
+	)
+	chains := o.Chains()
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d", len(chains))
+	}
+	if !chains[0].PendingGrant || !chains[0].RolledBack {
+		t.Fatalf("chain = %+v", *chains[0])
+	}
+	if o.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", o.Dropped())
+	}
+}
+
+func TestThreadEndsWhileBlocked(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 5),
+		ev(10, trace.MonitorBlocked, "T", "M", "owner", 0),
+		ev(50, trace.ThreadEnd, "T", "", "", 0),
+	)
+	blocks := findSpans(o.Spans(), SpanBlock, "T")
+	if len(blocks) != 1 {
+		t.Fatalf("block spans = %d, want 1", len(blocks))
+	}
+	b := blocks[0]
+	if !b.Unresolved || b.End != 50 {
+		t.Fatalf("block span = %+v, want unresolved ending at 50", b)
+	}
+	// Unresolved waits must not pollute the latency histograms.
+	if h := o.Metrics().BlockingPerThread("T"); h != nil && h.Count() != 0 {
+		t.Fatalf("unresolved block recorded in histogram: %+v", h.Summary())
+	}
+}
+
+// Two revocation chains from two requesters interleaved in time must stay
+// separate: each keeps its own requester, rollback and re-execution.
+func TestInterleavedChainsFromTwoRequesters(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "v1", "", "", 2),
+		ev(0, trace.ThreadStart, "v2", "", "", 3),
+		ev(0, trace.ThreadStart, "r1", "", "", 8),
+		ev(0, trace.ThreadStart, "r2", "", "", 9),
+		ev(5, trace.MonitorAcquired, "v1", "A", "", 0),
+		ev(6, trace.MonitorAcquired, "v2", "B", "", 0),
+		ev(10, trace.InversionDetected, "r1", "A", "v1", 0),
+		ev(10, trace.RevokeRequested, "v1", "A", "r1", 0),
+		ev(12, trace.InversionDetected, "r2", "B", "v2", 0),
+		ev(12, trace.RevokeRequested, "v2", "B", "r2", 0),
+		ev(15, trace.Rollback, "v1", "A", "r1", 7),
+		ev(16, trace.Reexecution, "v1", "A", "", 1),
+		ev(20, trace.Rollback, "v2", "B", "r2", 9),
+		ev(21, trace.Reexecution, "v2", "B", "", 1),
+	)
+	chains := o.Chains()
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d, want 2", len(chains))
+	}
+	for _, c := range chains {
+		if !c.HasDetected || !c.RolledBack || !c.Reexecuted {
+			t.Fatalf("incomplete chain %+v", *c)
+		}
+	}
+	if chains[0].Requester != "r1" || chains[0].Wasted != 7 {
+		t.Fatalf("chain 1 = %+v", *chains[0])
+	}
+	if chains[1].Requester != "r2" || chains[1].Wasted != 9 {
+		t.Fatalf("chain 2 = %+v", *chains[1])
+	}
+	if got := o.Metrics().RollbackWasted().Sum(); got != 16 {
+		t.Fatalf("wasted sum = %d, want 16", got)
+	}
+}
+
+// Object.wait splits a hold span: held → wait-start, wait-end → exit.
+func TestWaitSplitsHoldSpan(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 5),
+		ev(10, trace.MonitorAcquired, "T", "M", "", 0),
+		ev(20, trace.WaitStart, "T", "M", "", 0),
+		ev(60, trace.WaitEnd, "T", "M", "", 0),
+		ev(70, trace.MonitorExit, "T", "M", "", 0),
+	)
+	holds := findSpans(o.Spans(), SpanHold, "T")
+	if len(holds) != 2 {
+		t.Fatalf("hold spans = %d, want 2 (split at wait)", len(holds))
+	}
+	if holds[0].Start != 10 || holds[0].End != 20 {
+		t.Fatalf("pre-wait span = %+v", holds[0])
+	}
+	if holds[1].Start != 60 || holds[1].End != 70 {
+		t.Fatalf("post-wait span = %+v", holds[1])
+	}
+	if got := o.Metrics().HoldPerMonitor("M").Sum(); got != 20 {
+		t.Fatalf("hold sum = %d, want 20 (wait time excluded)", got)
+	}
+}
+
+// A thread blocked on one monitor that is interrupted and revoked on
+// another: the open block span closes at the rollback.
+func TestRollbackClosesOpenBlockSpan(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 2),
+		ev(5, trace.MonitorAcquired, "T", "A", "", 0),
+		ev(10, trace.MonitorBlocked, "T", "B", "other", 0),
+		ev(15, trace.RevokeRequested, "T", "A", "high", 0),
+		ev(20, trace.Rollback, "T", "A", "high", 4),
+	)
+	blocks := findSpans(o.Spans(), SpanBlock, "T")
+	if len(blocks) != 1 || blocks[0].End != 20 || blocks[0].Unresolved {
+		t.Fatalf("block spans = %+v", blocks)
+	}
+	holds := findSpans(o.Spans(), SpanHold, "T")
+	if len(holds) != 1 || !holds[0].RolledBack {
+		t.Fatalf("hold spans = %+v", holds)
+	}
+}
+
+// AllSpans materializes still-open spans as unresolved at the last tick.
+func TestAllSpansMaterializesOpen(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "T", "", "", 5),
+		ev(10, trace.MonitorAcquired, "T", "M", "", 0),
+		ev(30, trace.MonitorBlocked, "U", "M", "T", 0),
+	)
+	all := o.AllSpans()
+	if len(all) != 2 {
+		t.Fatalf("AllSpans = %d, want 2", len(all))
+	}
+	for _, s := range all {
+		if !s.Unresolved || s.End != 30 {
+			t.Fatalf("open span not materialized at last tick: %+v", s)
+		}
+	}
+	if len(o.Spans()) != 0 {
+		t.Fatalf("AllSpans mutated closed-span state")
+	}
+}
+
+// A superseding revoke request replaces the pending chain; the superseded
+// one stays recorded but incomplete.
+func TestSupersededRequest(t *testing.T) {
+	o := NewObserver()
+	feed(o,
+		ev(0, trace.ThreadStart, "v", "", "", 2),
+		ev(5, trace.MonitorAcquired, "v", "M", "", 0),
+		ev(10, trace.RevokeRequested, "v", "M", "r1", 0),
+		ev(12, trace.RevokeRequested, "v", "M", "r2", 0),
+		ev(15, trace.Rollback, "v", "M", "r2", 3),
+	)
+	chains := o.Chains()
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d, want 2", len(chains))
+	}
+	if chains[0].RolledBack {
+		t.Fatalf("superseded chain completed: %+v", *chains[0])
+	}
+	if !chains[1].RolledBack || chains[1].Requester != "r2" {
+		t.Fatalf("winning chain = %+v", *chains[1])
+	}
+}

@@ -324,7 +324,7 @@ func (s *Scheduler) Spawn(name string, prio Priority, body func(*Thread)) *Threa
 	s.live++
 	go t.top()
 	s.enqueue(t)
-	s.tracer.Emit(trace.Event{At: s.clock.Now(), Kind: trace.ThreadStart, Thread: name, Detail: fmt.Sprintf("prio=%d", prio)})
+	s.tracer.Emit(trace.Event{At: s.clock.Now(), Kind: trace.ThreadStart, Thread: name, N: int64(prio), Detail: fmt.Sprintf("prio=%d", prio)})
 	return t
 }
 

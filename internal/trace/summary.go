@@ -12,12 +12,20 @@ import (
 // Summary aggregates a trace: events per kind and per thread, plus the
 // time span covered. Useful for asserting on runs without enumerating raw
 // events.
+//
+// An empty trace has no time span: Total == 0 means Start and End are
+// meaningless (both zero, but indistinguishable from a real tick-0 event
+// only by checking Total). Use HasSpan before interpreting [Start, End].
 type Summary struct {
 	Start, End simtime.Ticks
 	PerKind    map[Kind]int
 	PerThread  map[string]int
 	Total      int
 }
+
+// HasSpan reports whether the summary covers any events at all; when false
+// the [Start, End] interval is undefined.
+func (s Summary) HasSpan() bool { return s.Total > 0 }
 
 // Summarize builds a Summary from recorded events.
 func Summarize(events []Event) Summary {
@@ -43,6 +51,10 @@ func Summarize(events []Event) Summary {
 
 // Render writes the summary as aligned text.
 func (s Summary) Render(w io.Writer) {
+	if !s.HasSpan() {
+		fmt.Fprintf(w, "trace: 0 events (no span)\n")
+		return
+	}
 	fmt.Fprintf(w, "trace: %d events over [%d, %d]\n", s.Total, s.Start, s.End)
 	kinds := make([]Kind, 0, len(s.PerKind))
 	for k := range s.PerKind {

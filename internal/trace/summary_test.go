@@ -38,6 +38,19 @@ func TestSummarizeEmpty(t *testing.T) {
 	if s.Total != 0 || s.Start != 0 || s.End != 0 {
 		t.Fatalf("empty summary = %+v", s)
 	}
+	// Total == 0 means "no span": [0,0] is not a real interval and must be
+	// distinguishable from a trace with one event at tick 0.
+	if s.HasSpan() {
+		t.Fatal("empty summary claims a span")
+	}
+	var b strings.Builder
+	s.Render(&b)
+	if !strings.Contains(b.String(), "no span") {
+		t.Fatalf("empty render = %q, want explicit no-span notice", b.String())
+	}
+	if one := Summarize([]Event{{At: 0, Kind: ThreadStart}}); !one.HasSpan() {
+		t.Fatal("single-event trace must have a span")
+	}
 }
 
 func TestSummaryRender(t *testing.T) {

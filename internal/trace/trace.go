@@ -78,12 +78,20 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// Event is one timestamped occurrence.
+// Event is one timestamped occurrence. Beyond the acting thread, events
+// that describe an interaction carry the counterpart thread in Other so
+// consumers can join causally related events without parsing Detail:
+// MonitorBlocked names the holder that caused the wait, RevokeRequested /
+// Rollback name the requesting (high-priority) thread. N is a per-kind
+// numeric payload: the rolled-back span's wasted CPU ticks on Rollback,
+// the retry attempt on Reexecution, the base priority on ThreadStart.
 type Event struct {
 	At     simtime.Ticks
 	Kind   Kind
 	Thread string // name of the acting thread ("" for scheduler events)
 	Object string // monitor or object involved, if any
+	Other  string // counterpart thread: holder on blocked, requester on revocations
+	N      int64  // numeric payload (kind-specific); zero when unused
 	Detail string // free-form context
 }
 
@@ -97,10 +105,27 @@ func (e Event) String() string {
 	if e.Object != "" {
 		fmt.Fprintf(&b, " object=%s", e.Object)
 	}
+	if e.Other != "" {
+		fmt.Fprintf(&b, " other=%s", e.Other)
+	}
+	if e.N != 0 {
+		fmt.Fprintf(&b, " n=%d", e.N)
+	}
 	if e.Detail != "" {
 		fmt.Fprintf(&b, " %s", e.Detail)
 	}
 	return b.String()
+}
+
+// AllKinds returns every defined kind in declaration order. Exporters use
+// it to enumerate the stable name set; a new kind added above extends the
+// slice automatically (StaticPreMark is the last defined kind).
+func AllKinds() []Kind {
+	kinds := make([]Kind, 0, int(StaticPreMark)+1)
+	for k := ThreadStart; k <= StaticPreMark; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
 }
 
 // Sink receives events. Implementations must be cheap; the runtime calls
@@ -118,9 +143,16 @@ type Recorder struct {
 // Emit appends the event.
 func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }
 
-// Events returns the recorded events in emission order. The returned slice
-// is the recorder's backing store; callers must not mutate it.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns a snapshot of the recorded events in emission order. The
+// snapshot is a copy: it stays valid (and stable) across later Emit and
+// Reset calls. Reset truncates the backing store in place, so returning it
+// directly would let post-Reset emissions silently clobber a slice captured
+// earlier.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
 
 // Len reports how many events were recorded.
 func (r *Recorder) Len() int { return len(r.events) }

@@ -63,6 +63,30 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+// TestRecorderEventsSurvivesReset is the regression test for Events()
+// returning the live backing store: a snapshot taken before Reset must not
+// be clobbered by events recorded afterwards (Reset reuses the array).
+func TestRecorderEventsSurvivesReset(t *testing.T) {
+	var r Recorder
+	r.Emit(Event{Kind: Rollback, Thread: "victim"})
+	r.Emit(Event{Kind: Reexecution, Thread: "victim"})
+	snap := r.Events()
+	r.Reset()
+	r.Emit(Event{Kind: Notify, Thread: "other"})
+	r.Emit(Event{Kind: Notify, Thread: "other"})
+	if len(snap) != 2 {
+		t.Fatalf("snapshot length = %d, want 2", len(snap))
+	}
+	if snap[0].Kind != Rollback || snap[1].Kind != Reexecution {
+		t.Fatalf("snapshot clobbered by post-Reset emits: %+v", snap)
+	}
+	// Mutating the snapshot must not corrupt the recorder either.
+	snap[0].Thread = "mutated"
+	if e, _ := r.First(Notify); e.Thread != "other" {
+		t.Fatalf("recorder state shares memory with snapshot: %+v", e)
+	}
+}
+
 func TestRecorderDump(t *testing.T) {
 	var r Recorder
 	r.Emit(Event{Kind: Notify, Thread: "a"})
