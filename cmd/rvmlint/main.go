@@ -8,14 +8,18 @@
 //   - potential deadlocks: cycles in the lock-order graph, with the
 //     acquisition sites as method@pc witnesses;
 //   - write-barrier elision totals: how many store instructions the
-//     analysis proves never need the undo-logging slow path.
+//     analysis proves never need the undo-logging slow path;
+//   - with -races, candidate data races from the static lockset pass:
+//     slots reachable by two threads with at least one write and no common
+//     must-held monitor, plus volatile-bypass access patterns.
 //
 // Usage:
 //
-//	rvmlint [-json] [-fail-on-cycle] program.rvm [more.rvm ...]
+//	rvmlint [-json] [-races] [-fail-on-cycle] [-fail-on-race] program.rvm [more.rvm ...]
 //
-// -json emits machine-readable output for CI; -fail-on-cycle exits
-// non-zero when any lock-order cycle is found, making the tool usable as a
+// -json emits machine-readable output for CI (race findings included);
+// -fail-on-cycle exits non-zero when any lock-order cycle is found and
+// -fail-on-race when any candidate race is, making the tool usable as a
 // build gate.
 package main
 
@@ -42,12 +46,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rvmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	races := fs.Bool("races", false, "print the static lockset pass's candidate data races")
 	failOnCycle := fs.Bool("fail-on-cycle", false, "exit 1 when a lock-order cycle is found")
+	failOnRace := fs.Bool("fail-on-race", false, "exit 1 when a candidate data race is found")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: rvmlint [-json] [-fail-on-cycle] program.rvm ...")
+		fmt.Fprintln(stderr, "usage: rvmlint [-json] [-races] [-fail-on-cycle] [-fail-on-race] program.rvm ...")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -73,9 +79,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *jsonOut {
 			reports = append(reports, fileReport{File: filepath.Base(path), Facts: facts})
 		} else {
-			fmt.Fprintf(stdout, "== %s ==\n%s\n", filepath.Base(path), facts.Render())
+			fmt.Fprintf(stdout, "== %s ==\n%s", filepath.Base(path), facts.Render())
+			if *races {
+				fmt.Fprintf(stdout, "\n%s", facts.RenderRaces())
+			}
+			fmt.Fprintln(stdout)
 		}
 		if *failOnCycle && len(facts.Cycles) > 0 {
+			exit = 1
+		}
+		if *failOnRace && len(facts.Races) > 0 {
 			exit = 1
 		}
 	}

@@ -13,16 +13,28 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestGolden locks rvmlint's text output over the example programs. Run
-// with -update after an intentional output change.
+// with -update after an intentional output change. The racy examples are
+// linted with -races so the goldens pin the static lockset findings too.
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"lockorder", "native_section", "inversion"} {
-		t.Run(name, func(t *testing.T) {
-			src := filepath.Join("..", "..", "examples", "bytecode", name+".rvm")
+	cases := []struct {
+		name string
+		dir  string
+		args []string
+	}{
+		{"lockorder", "bytecode", nil},
+		{"native_section", "bytecode", nil},
+		{"inversion", "bytecode", nil},
+		{"counter", "racy", []string{"-races"}},
+		{"volbypass", "racy", []string{"-races"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := filepath.Join("..", "..", "examples", c.dir, c.name+".rvm")
 			var out, errOut bytes.Buffer
-			if code := run([]string{src}, &out, &errOut); code != 0 {
+			if code := run(append(c.args, src), &out, &errOut); code != 0 {
 				t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 			}
-			golden := filepath.Join("testdata", name+".golden")
+			golden := filepath.Join("testdata", c.name+".golden")
 			if *update {
 				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
 					t.Fatal(err)
@@ -64,6 +76,30 @@ func TestSeededFindings(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "NON-REVOCABLE") || !strings.Contains(out.String(), "native-call print") {
 		t.Errorf("native section not flagged:\n%s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{
+		"-races", "-fail-on-race",
+		filepath.Join("..", "..", "examples", "racy", "counter.rvm"),
+	}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("-fail-on-race exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "race: static:counter") {
+		t.Errorf("counter race not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{
+		"-races",
+		filepath.Join("..", "..", "examples", "racy", "volbypass.rvm"),
+	}, &out, &errOut)
+	if code != 0 {
+		t.Errorf("-races without -fail-on-race exited %d", code)
+	}
+	if !strings.Contains(out.String(), "volatile-bypass: static:flag  raw-store") {
+		t.Errorf("raw-store bypass not reported:\n%s", out.String())
 	}
 }
 

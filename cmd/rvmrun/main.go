@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rvmrun [-vm unmodified|revocation] [-rewrite] [-static] [-threaded]
+//	rvmrun [-vm unmodified|revocation] [-rewrite] [-static] [-race] [-threaded]
 //	       [-quantum N] [-trace] [-disasm] [-stats]
 //	       [-trace-out FILE] [-trace-format text|jsonl|perfetto]
 //	       [-metrics text|json] [-metrics-out FILE] program.rvm
@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/race"
 	"repro/internal/rewrite"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -47,6 +48,7 @@ func main() {
 		quantum   = flag.Int64("quantum", 1000, "scheduler quantum in ticks")
 		seed      = flag.Int64("seed", 0, "deterministic scheduler seed")
 		static    = flag.Bool("static", false, "run whole-program analysis: pre-mark non-revocable sections, elide proven-safe write barriers")
+		raceFlag  = flag.Bool("race", false, "enable the dynamic data-race sanitizer (reports to stderr, exit 1 on races)")
 		doTrace   = flag.Bool("trace", false, "stream runtime events to stderr")
 		timeline  = flag.Bool("timeline", false, "print an ASCII schedule timeline at the end")
 		disasm    = flag.Bool("disasm", false, "print the (rewritten) program and exit")
@@ -174,12 +176,17 @@ func main() {
 		obsSink = obsSinks
 	}
 
+	var detector *race.Detector
+	if *raceFlag {
+		detector = race.New()
+	}
 	rt := core.New(core.Config{
 		Mode:              mode,
 		TrackDependencies: true,
 		DeadlockDetection: mode == core.Revocation,
 		Tracer:            sink,
 		Observer:          obsSink,
+		Race:              detector,
 		Sched:             sched.Config{Quantum: simtime.Ticks(*quantum), Seed: *seed},
 	})
 	env, runErr := interp.Run(rt, prog, interp.Options{
@@ -193,12 +200,20 @@ func main() {
 		fatal(runErr)
 	}
 
+	var raceReports []race.Report
+	if detector != nil {
+		raceReports = detector.Finalize()
+	}
+
 	if *timeline {
 		fmt.Fprintln(os.Stderr, "\ntimeline ('#' dispatched, 'R' rollback):")
 		fmt.Fprint(os.Stderr, trace.Timeline(rec.Events(), 72))
 	}
 	if *stats {
 		printStats(rt)
+	}
+	if detector != nil {
+		fmt.Fprint(os.Stderr, race.RenderReports(raceReports))
 	}
 	if observer != nil && *metrics != "" {
 		if err := writeMetrics(observer, *metrics, *metricsOut); err != nil {
@@ -210,6 +225,9 @@ func main() {
 	}
 	if runErr != nil {
 		fatal(runErr)
+	}
+	if len(raceReports) > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -286,6 +304,10 @@ func printStats(rt *core.Runtime) {
 	if st.StaticPreMarks > 0 || st.RawStores > 0 || st.AllocsLogged > 0 {
 		fmt.Fprintf(os.Stderr, "static: premarks=%d raw-stores=%d allocs-logged=%d\n",
 			st.StaticPreMarks, st.RawStores, st.AllocsLogged)
+	}
+	if st.RacesDetected > 0 || st.RaceReportsRetracted > 0 || st.RaceAccessesRetracted > 0 {
+		fmt.Fprintf(os.Stderr, "race: detected=%d reports-retracted=%d accesses-retracted=%d\n",
+			st.RacesDetected, st.RaceReportsRetracted, st.RaceAccessesRetracted)
 	}
 	for _, th := range rt.Scheduler().Threads() {
 		fmt.Fprintf(os.Stderr, "thread %-12s prio=%d start=%d end=%d cpu=%d\n",

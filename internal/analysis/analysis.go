@@ -140,6 +140,10 @@ type Facts struct {
 	Sections []*Section `json:"sections"`
 	// Cycles lists the potential lock-order deadlocks.
 	Cycles []Cycle `json:"cycles,omitempty"`
+	// Races lists the candidate data races (races.go); Bypasses the
+	// volatile-bypass access patterns.
+	Races    []Race           `json:"races,omitempty"`
+	Bypasses []VolatileBypass `json:"volatile_bypasses,omitempty"`
 	// TotalStores and ElidableStores count the program's reachable store
 	// instructions and how many can skip the write-barrier slow path;
 	// NeverHeldStores and FreshStores split the elidable count by proof
@@ -199,6 +203,8 @@ func Analyze(p *bytecode.Program) (*Facts, error) {
 	f.discoverSections()
 	f.buildLockOrder()
 	f.computeElision()
+	f.computeRaces()
+	f.normalize()
 	return f, nil
 }
 

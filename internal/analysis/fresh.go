@@ -74,7 +74,15 @@ func (s *freshState) killAll() {
 // freshness computes the in-state for every pc of mi's method, or nil when
 // the method contains something the transfer function cannot model (every
 // store then simply keeps its barrier).
-func (f *Facts) freshness(mi *methodInfo) []*freshState {
+//
+// escapeKills selects the stricter thread-locality variant used by the
+// race pass: all freshness dies the moment a fresh value escapes (is
+// stored into any object/array/static or passed to any call). The base
+// dataflow does not track aliases, so "fresh" alone only proves the object
+// was allocated in-section — good enough for rollback elision (the
+// allocation undo entry restores it) but not for thread-locality, where a
+// published alias would let another thread reach the object.
+func (f *Facts) freshness(mi *methodInfo, escapeKills bool) []*freshState {
 	m := mi.m
 	n := len(m.Code)
 	states := make([]*freshState, n)
@@ -119,7 +127,7 @@ func (f *Facts) freshness(mi *methodInfo) []*freshState {
 		queue = queue[1:]
 		st := states[pc].clone()
 		in := m.Code[pc]
-		if !f.transfer(mi, pc, in, st) {
+		if !f.transfer(mi, pc, in, st, escapeKills) {
 			return nil
 		}
 		for _, s := range succs(m, pc) {
@@ -133,7 +141,7 @@ func (f *Facts) freshness(mi *methodInfo) []*freshState {
 
 // transfer applies one instruction to st in place; reports ok=false when the
 // instruction cannot be modelled (stack underflow against the tracked shape).
-func (f *Facts) transfer(mi *methodInfo, pc int, in bytecode.Instr, st *freshState) bool {
+func (f *Facts) transfer(mi *methodInfo, pc int, in bytecode.Instr, st *freshState, escapeKills bool) bool {
 	m := mi.m
 	top := func(k int) int { return len(st.stack) - k } // index of k-th from top
 	pop := func(k int) bool {
@@ -144,6 +152,29 @@ func (f *Facts) transfer(mi *methodInfo, pc int, in bytecode.Instr, st *freshSta
 		return true
 	}
 	push := func(vals ...bool) { st.stack = append(st.stack, vals...) }
+
+	doKill := false
+	if escapeKills {
+		escaped := func(k int) bool { return len(st.stack) >= k && st.stack[top(k)] }
+		switch in.Op {
+		case bytecode.PUTFIELD, bytecode.PUTFIELDRAW, bytecode.PUTSTATIC,
+			bytecode.PUTSTATICRAW, bytecode.ASTORE, bytecode.ASTORERAW:
+			doKill = escaped(1) // the stored value is on top
+		case bytecode.INVOKE:
+			if callee := f.methods[in.S]; callee != nil {
+				for k := 1; k <= callee.m.Args; k++ {
+					if escaped(k) {
+						doKill = true
+					}
+				}
+			}
+		}
+	}
+	defer func() {
+		if doKill {
+			st.killAll()
+		}
+	}()
 
 	switch in.Op {
 	case bytecode.LOAD:
@@ -258,7 +289,7 @@ func (f *Facts) computeElision() {
 				continue
 			}
 			if !freshDone {
-				fresh = f.freshness(mi)
+				fresh = f.freshness(mi, false)
 				freshDone = true
 			}
 			if fresh == nil {

@@ -2,8 +2,72 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
+
+// normalize sorts and dedups every finding list so rendered and JSON
+// output is deterministic regardless of map-iteration or discovery order —
+// the contract the cmd/rvmlint golden tests pin.
+func (f *Facts) normalize() {
+	sort.Slice(f.Sections, func(i, j int) bool {
+		a, b := f.Sections[i].Enter, f.Sections[j].Enter
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		return a.PC < b.PC
+	})
+	for _, s := range f.Sections {
+		sort.Slice(s.Reasons, func(i, j int) bool {
+			a, b := s.Reasons[i], s.Reasons[j]
+			if a.Pos.Method != b.Pos.Method {
+				return a.Pos.Method < b.Pos.Method
+			}
+			if a.Pos.PC != b.Pos.PC {
+				return a.Pos.PC < b.Pos.PC
+			}
+			return a.Kind < b.Kind
+		})
+		w := 0
+		for i, r := range s.Reasons {
+			if i == 0 || r != s.Reasons[w-1] {
+				s.Reasons[w] = r
+				w++
+			}
+		}
+		s.Reasons = s.Reasons[:w]
+	}
+	for ci := range f.Cycles {
+		c := &f.Cycles[ci]
+		sort.Slice(c.Edges, func(i, j int) bool {
+			a, b := c.Edges[i], c.Edges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			if a.At.Method != b.At.Method {
+				return a.At.Method < b.At.Method
+			}
+			return a.At.PC < b.At.PC
+		})
+	}
+	sort.Slice(f.Races, func(i, j int) bool { return f.Races[i].Slot < f.Races[j].Slot })
+	sort.Slice(f.Bypasses, func(i, j int) bool {
+		a, b := f.Bypasses[i], f.Bypasses[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Pos.Method != b.Pos.Method {
+			return a.Pos.Method < b.Pos.Method
+		}
+		return a.Pos.PC < b.Pos.PC
+	})
+}
 
 // Render formats the findings as deterministic human-readable text — the
 // default output of cmd/rvmlint and the subject of its golden tests.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/jmm"
 	"repro/internal/monitor"
+	"repro/internal/race"
 	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -142,6 +143,13 @@ type Config struct {
 	// a configured Ceiling raises the owner to that priority.
 	PriorityCeiling bool
 
+	// Race, when non-nil, attaches the dynamic data-race sanitizer: every
+	// barriered access is checked against a vector-clock happens-before
+	// relation, with access history retracted on rollback so a revoked
+	// section can never ground a race report. A nil Race adds no cost: all
+	// hooks sit behind a nil check.
+	Race *race.Detector
+
 	// Observer, when non-nil, receives every runtime event alongside
 	// Tracer (internal/obs.Observer reconstructs causal spans and latency
 	// histograms from the stream). A nil Observer adds no multiplexing
@@ -209,6 +217,11 @@ type Stats struct {
 	StaticPreMarks     int64 // monitors pre-marked non-revocable by static analysis
 	AllocsLogged       int64 // whole-allocation undo entries (static elision support)
 	RawStores          int64 // statically elided stores executed barrier-free
+
+	// Dynamic race sanitizer (Config.Race != nil).
+	RacesDetected         int64 // confirmed reports emitted
+	RaceReportsRetracted  int64 // pending reports dropped because an endpoint rolled back
+	RaceAccessesRetracted int64 // access records retracted by rollbacks
 }
 
 // Runtime hosts a simulated VM instance.
@@ -247,6 +260,9 @@ func New(cfg Config) *Runtime {
 		tasks:   make(map[int]*Task),
 		objMons: make(map[*heap.Object]*monitor.Monitor),
 		waiting: make(map[*Task]*monitor.Monitor),
+	}
+	if cfg.Race != nil {
+		cfg.Race.Bind(hp, rt.tracer, rt.sch.Now)
 	}
 	if cfg.Mode == Revocation && (cfg.Detect == DetectPeriodic || cfg.Detect == DetectBoth) {
 		period := cfg.DetectPeriod
@@ -309,6 +325,9 @@ func (rt *Runtime) Spawn(name string, prio sched.Priority, body func(*Task)) *Ta
 	})
 	task.th.Data = task
 	rt.tasks[task.th.ID()] = task
+	if rt.cfg.Race != nil {
+		rt.cfg.Race.ThreadStart(task.th.ID(), name)
+	}
 	return task
 }
 
@@ -333,6 +352,9 @@ func (rt *Runtime) Stats() Stats {
 		s.EntriesUndone += t.log.Undone()
 		s.StoresDeduped += t.log.Deduped()
 		s.AllocsLogged += t.log.AllocsLogged()
+	}
+	if rt.cfg.Race != nil {
+		s.RacesDetected, s.RaceReportsRetracted, s.RaceAccessesRetracted = rt.cfg.Race.Stats()
 	}
 	return s
 }
@@ -395,6 +417,12 @@ type Task struct {
 	// Per-task statistics.
 	rollbacks    int64
 	reexecutions int64
+
+	// raceMethod/racePC name the bytecode site of the next barriered access
+	// for the race sanitizer (set by the interpreter via SetRaceSite; empty
+	// for Go-level API accesses).
+	raceMethod string
+	racePC     int
 }
 
 // Thread returns the underlying scheduler thread.
@@ -421,6 +449,9 @@ func (t *Task) finish() {
 		panic(fmt.Sprintf("core: task %s finished holding %d synchronized sections", t.Name(), len(t.frames)))
 	}
 	t.rt.spec.DropThread(t.th.ID())
+	if t.rt.cfg.Race != nil {
+		t.rt.cfg.Race.ThreadEnd(t.th.ID())
+	}
 }
 
 // step charges cost ticks, passes a yield point, and delivers any pending
@@ -556,6 +587,11 @@ func (t *Task) WriteField(o *heap.Object, idx int, v heap.Word) {
 	o.Set(idx, v)
 	if o.IsVolatile(idx) {
 		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.VolatileWrite, Thread: t.Name(), Object: o.String(), Detail: o.FieldName(idx)})
+		if d := t.rt.cfg.Race; d != nil {
+			d.VolatileWrite(t.th.ID(), race.Slot{Kind: heap.KindObject, ID: o.ID(), Idx: idx}, t.raceSite())
+		}
+	} else if d := t.rt.cfg.Race; d != nil {
+		d.Write(t.th.ID(), race.Slot{Kind: heap.KindObject, ID: o.ID(), Idx: idx}, t.raceSite())
 	}
 }
 
@@ -567,6 +603,11 @@ func (t *Task) ReadField(o *heap.Object, idx int) heap.Word {
 	}
 	if o.IsVolatile(idx) {
 		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.VolatileRead, Thread: t.Name(), Object: o.String(), Detail: o.FieldName(idx)})
+		if d := t.rt.cfg.Race; d != nil {
+			d.VolatileRead(t.th.ID(), race.Slot{Kind: heap.KindObject, ID: o.ID(), Idx: idx}, t.raceSite())
+		}
+	} else if d := t.rt.cfg.Race; d != nil {
+		d.Read(t.th.ID(), race.Slot{Kind: heap.KindObject, ID: o.ID(), Idx: idx}, t.raceSite())
 	}
 	return o.Get(idx)
 }
@@ -585,6 +626,9 @@ func (t *Task) WriteElem(a *heap.Array, idx int, v heap.Word) {
 		t.rt.stats.BarrierFastPaths++
 	}
 	a.Set(idx, v)
+	if d := t.rt.cfg.Race; d != nil {
+		d.Write(t.th.ID(), race.Slot{Kind: heap.KindArray, ID: a.ID(), Idx: idx}, t.raceSite())
+	}
 }
 
 // ReadElem loads element idx of a through the read barrier.
@@ -592,6 +636,9 @@ func (t *Task) ReadElem(a *heap.Array, idx int) heap.Word {
 	t.step(t.rt.cfg.CostRead)
 	if t.rt.cfg.TrackDependencies && t.rt.spec.HasForeign(t.th.ID()) {
 		t.dependencyHit(t.rt.spec.CheckReadArray(a, idx, t.th.ID()))
+	}
+	if d := t.rt.cfg.Race; d != nil {
+		d.Read(t.th.ID(), race.Slot{Kind: heap.KindArray, ID: a.ID(), Idx: idx}, t.raceSite())
 	}
 	return a.Get(idx)
 }
@@ -612,6 +659,11 @@ func (t *Task) WriteStatic(idx int, v heap.Word) {
 	t.rt.hp.SetStatic(idx, v)
 	if t.rt.hp.IsStaticVolatile(idx) {
 		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.VolatileWrite, Thread: t.Name(), Object: t.rt.hp.StaticName(idx)})
+		if d := t.rt.cfg.Race; d != nil {
+			d.VolatileWrite(t.th.ID(), race.Slot{Kind: heap.KindStatic, Idx: idx}, t.raceSite())
+		}
+	} else if d := t.rt.cfg.Race; d != nil {
+		d.Write(t.th.ID(), race.Slot{Kind: heap.KindStatic, Idx: idx}, t.raceSite())
 	}
 }
 
@@ -623,6 +675,11 @@ func (t *Task) ReadStatic(idx int) heap.Word {
 	}
 	if t.rt.hp.IsStaticVolatile(idx) {
 		t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.VolatileRead, Thread: t.Name(), Object: t.rt.hp.StaticName(idx)})
+		if d := t.rt.cfg.Race; d != nil {
+			d.VolatileRead(t.th.ID(), race.Slot{Kind: heap.KindStatic, Idx: idx}, t.raceSite())
+		}
+	} else if d := t.rt.cfg.Race; d != nil {
+		d.Read(t.th.ID(), race.Slot{Kind: heap.KindStatic, Idx: idx}, t.raceSite())
 	}
 	return t.rt.hp.GetStatic(idx)
 }
@@ -817,6 +874,12 @@ func (t *Task) enter(m *monitor.Monitor) {
 		attempts:  t.retryAttempts,
 	})
 	t.retryAttempts = 0
+	if d := rt.cfg.Race; d != nil {
+		if !reentrant {
+			d.Acquire(t.th.ID(), m)
+		}
+		d.SectionEnter(t.th.ID()) // mark pushed for every frame, reentrant included
+	}
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorAcquired, Thread: t.Name(), Object: m.Name(), Detail: fmt.Sprintf("depth=%d", len(t.frames))})
 }
 
@@ -841,6 +904,14 @@ func (t *Task) commitTop(m *monitor.Monitor) {
 	fully := m.Exit(t.th)
 	if fully && (rt.cfg.PriorityCeiling || rt.cfg.PriorityInheritance) {
 		rt.unboost(t)
+	}
+	if d := rt.cfg.Race; d != nil {
+		// A reentrant exit is not a real release: no synchronizes-with edge
+		// until ownership actually drops.
+		if fully {
+			d.Release(t.th.ID(), m)
+		}
+		d.SectionCommit(t.th.ID())
 	}
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorExit, Thread: t.Name(), Object: m.Name()})
 	t.YieldPoint()
@@ -976,6 +1047,13 @@ func (t *Task) deliverRevocation() {
 			rt.unboost(t)
 		}
 	}
+	// Retract the aborted attempt's access history in step with the undo
+	// replay: rolled-back accesses never ground a race report. ForceRelease
+	// deliberately published no release clock — JMM-wise the aborted section
+	// never happened, so there is no synchronizes-with edge here.
+	if d := rt.cfg.Race; d != nil {
+		d.SectionRollback(t.th.ID(), idx)
+	}
 	wasted := t.th.CPU() - target.startCPU
 	t.rollbacks++
 	rt.stats.Rollbacks++
@@ -1017,6 +1095,12 @@ func (t *Task) Wait(m *monitor.Monitor) {
 			t.log.Truncate(0)
 		}
 	}
+	if d := rt.cfg.Race; d != nil {
+		// Whichever branch ran, no access made so far can be rolled back
+		// anymore; and releasing m is a real release edge.
+		d.WaitTruncate(t.th.ID())
+		d.Release(t.th.ID(), m)
+	}
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.WaitStart, Thread: t.Name(), Object: m.Name()})
 	m.Wait(t.th, func() {
 		if t.revokeReq != nil {
@@ -1042,6 +1126,9 @@ func (t *Task) Wait(m *monitor.Monitor) {
 	f := &t.frames[idx]
 	f.monGen = m.Gen()
 	f.logMark = t.log.Mark()
+	if d := rt.cfg.Race; d != nil {
+		d.Acquire(t.th.ID(), m) // re-acquire joins the notifier's release
+	}
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.WaitEnd, Thread: t.Name(), Object: m.Name()})
 	if t.revokeReq != nil {
 		t.deliverRevocation()

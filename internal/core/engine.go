@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/heap"
 	"repro/internal/monitor"
+	"repro/internal/race"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 )
@@ -112,6 +113,44 @@ func (t *Task) RegisterAllocArray(a *heap.Array) {
 // write that ran barrier-free because analysis proved logging could never
 // be needed.
 func (t *Task) CountRawStore() { t.rt.stats.RawStores++ }
+
+// ---------------------------------------------------------------------------
+// Race-sanitizer hooks (Config.Race != nil; all no-ops otherwise).
+
+// SetRaceSite names the bytecode site of the next barriered access for race
+// reports. The interpreter calls it before each heap-access instruction
+// when the sanitizer is enabled.
+func (t *Task) SetRaceSite(method string, pc int) {
+	t.raceMethod, t.racePC = method, pc
+}
+
+// raceSite returns the current access site for the sanitizer.
+func (t *Task) raceSite() race.Site {
+	return race.Site{Method: t.raceMethod, PC: t.racePC}
+}
+
+// RaceRawWriteField records a barrier-elided field store with the
+// sanitizer. Raw stores survive rollback (their undo entries, if any, are
+// whole-allocation ones), so the sanitizer marks them non-retractable.
+func (t *Task) RaceRawWriteField(o *heap.Object, idx int) {
+	if d := t.rt.cfg.Race; d != nil {
+		d.RawWrite(t.th.ID(), race.Slot{Kind: heap.KindObject, ID: o.ID(), Idx: idx}, t.raceSite())
+	}
+}
+
+// RaceRawWriteElem is RaceRawWriteField for array elements.
+func (t *Task) RaceRawWriteElem(a *heap.Array, idx int) {
+	if d := t.rt.cfg.Race; d != nil {
+		d.RawWrite(t.th.ID(), race.Slot{Kind: heap.KindArray, ID: a.ID(), Idx: idx}, t.raceSite())
+	}
+}
+
+// RaceRawWriteStatic is RaceRawWriteField for statics.
+func (t *Task) RaceRawWriteStatic(idx int) {
+	if d := t.rt.cfg.Race; d != nil {
+		d.RawWrite(t.th.ID(), race.Slot{Kind: heap.KindStatic, Idx: idx}, t.raceSite())
+	}
+}
 
 // EngineUnwind discards the bookkeeping of the rolled-back frames
 // [target:] after a recovered revocation (their heap effects and monitors

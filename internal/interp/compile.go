@@ -29,6 +29,13 @@ func (e *Env) compile(m *bytecode.Method) []opFunc {
 	cost := e.Opts.CostPerInstr
 	fns := make([]opFunc, len(m.Code))
 	for pc, instr := range m.Code {
+		// With the race sanitizer on, static accesses take the exec path so
+		// the access site gets stamped; all other heap ops already do.
+		if e.raceOn && (instr.Op == bytecode.GETSTATIC || instr.Op == bytecode.PUTSTATIC) {
+			ins := instr
+			fns[pc] = func(in *Interp, f *frame) { in.exec(f, ins) }
+			continue
+		}
 		fns[pc] = compileOne(instr, pc, cost)
 	}
 	e.compiled[m] = fns

@@ -77,6 +77,10 @@ type Env struct {
 	// compiled caches threaded code per method (Options.Threaded).
 	compiled map[*bytecode.Method][]opFunc
 
+	// raceOn caches Config.Race != nil: heap-access instructions then stamp
+	// their bytecode site on the task so race reports can name it.
+	raceOn bool
+
 	// Printed collects print output when Opts.Out is nil, for tests.
 	Printed []heap.Word
 }
@@ -103,6 +107,7 @@ func NewEnv(rt *core.Runtime, prog *bytecode.Program, opts Options) (*Env, error
 		classOf:  map[heap.Word]*bytecode.Class{},
 		regionAt: map[*bytecode.Method]map[int]int{},
 		compiled: map[*bytecode.Method][]opFunc{},
+		raceOn:   rt.Config().Race != nil,
 	}
 	for _, s := range prog.Statics {
 		rt.Heap().DefineStatic(s.Name, s.Volatile, heap.Word(s.Init))
@@ -395,6 +400,9 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 	// Every instruction boundary is a yield point; delivery of a pending
 	// revocation happens inside Work via the runtime.
 	in.task.Work(in.env.Opts.CostPerInstr)
+	if in.env.raceOn {
+		in.task.SetRaceSite(f.m.Name, f.pc)
+	}
 
 	next := f.pc + 1
 	switch instr.Op {
@@ -538,10 +546,12 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 		in.task.Work(in.env.RT.Config().CostWrite)
 		in.task.CountRawStore()
 		o.Set(instr.A, v)
+		in.task.RaceRawWriteField(o, instr.A)
 	case bytecode.PUTSTATICRAW:
 		in.task.Work(in.env.RT.Config().CostWrite)
 		in.task.CountRawStore()
 		in.env.RT.Heap().SetStatic(instr.A, f.pop())
+		in.task.RaceRawWriteStatic(instr.A)
 	case bytecode.ASTORERAW:
 		v := f.pop()
 		idx := f.pop()
@@ -556,6 +566,7 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 		in.task.Work(in.env.RT.Config().CostWrite)
 		in.task.CountRawStore()
 		a.Set(int(idx), v)
+		in.task.RaceRawWriteElem(a, int(idx))
 
 	case bytecode.MONITORENTER:
 		m, ok := in.monitorFor(f.pop())

@@ -35,6 +35,7 @@ var goldenKinds = []string{
 	"volatile-read",
 	"custom",
 	"static-premark",
+	"race-detected",
 }
 
 func TestKindNamesGolden(t *testing.T) {

@@ -33,6 +33,7 @@ var perfettoInstants = map[trace.Kind]string{
 	trace.Reexecution:       "re-execution",
 	trace.NonRevocable:      "non-revocable",
 	trace.StaticPreMark:     "static-premark",
+	trace.RaceDetected:      "race-detected",
 	trace.DeadlockDetected:  "deadlock-detected",
 	trace.DeadlockBroken:    "deadlock-broken",
 	trace.Notify:            "notify",

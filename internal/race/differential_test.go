@@ -1,0 +1,101 @@
+package race_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/race"
+	"repro/internal/rewrite"
+	"repro/internal/sched"
+)
+
+// TestDifferentialDynamicSubsetOfStatic cross-validates the two engines
+// over every example program: any race the dynamic sanitizer observes at
+// runtime must involve a slot the static lockset pass already named a
+// candidate (race or volatile-bypass). The static pass over-approximates
+// behavior (all interleavings) while the dynamic pass sees one schedule,
+// so dynamic ⊆ static is the soundness contract between them; a violation
+// means the lockset analysis wrongly proved a racing slot protected.
+func TestDifferentialDynamicSubsetOfStatic(t *testing.T) {
+	var srcs []string
+	for _, dir := range []string{"bytecode", "racy"} {
+		matches, err := filepath.Glob(filepath.Join("..", "..", "examples", dir, "*.rvm"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, matches...)
+	}
+	if len(srcs) < 5 {
+		t.Fatalf("found only %d example programs: %v", len(srcs), srcs)
+	}
+
+	for _, src := range srcs {
+		for _, threaded := range []bool{false, true} {
+			src, threaded := src, threaded
+			name := filepath.Base(src)
+			if threaded {
+				name += "/threaded"
+			}
+			t.Run(name, func(t *testing.T) {
+				text, err := os.ReadFile(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := bytecode.Assemble(string(text))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := bytecode.Verify(prog); err != nil {
+					t.Fatal(err)
+				}
+				prog, err = rewrite.Rewrite(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Analyze the program the VM executes (post-rewrite), exactly
+				// as rvmrun -static does, so pcs and slots line up.
+				facts, err := analysis.Analyze(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				static := facts.RaceSlots()
+
+				detector := race.New()
+				rt := core.New(core.Config{
+					Mode:              core.Revocation,
+					TrackDependencies: true,
+					DeadlockDetection: true,
+					Race:              detector,
+					Sched:             sched.Config{Quantum: 1000},
+				})
+				if _, err := interp.Run(rt, prog, interp.Options{
+					Rewritten: true,
+					Threaded:  threaded,
+					Out:       io.Discard,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range detector.Finalize() {
+					if !static[r.Slot] {
+						t.Errorf("dynamic race on %s not in static candidate set %v\n  report: %v",
+							r.Slot, keys(static), r)
+					}
+				}
+			})
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package race_test
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/race"
+	"repro/internal/rewrite"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExampleReportsGolden pins the exact rvmrun -race report text for the
+// seeded racy examples: the same pipeline and defaults as the CLI
+// (rewrite on, revocation mode, quantum 1000, seed 0), so the goldens in
+// examples/racy/ double as the documented expected output.
+func TestExampleReportsGolden(t *testing.T) {
+	for _, name := range []string{"counter", "volbypass"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("..", "..", "examples", "racy")
+			text, err := os.ReadFile(filepath.Join(dir, name+".rvm"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := bytecode.Assemble(string(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bytecode.Verify(prog); err != nil {
+				t.Fatal(err)
+			}
+			prog, err = rewrite.Rewrite(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			detector := race.New()
+			rt := core.New(core.Config{
+				Mode:              core.Revocation,
+				TrackDependencies: true,
+				DeadlockDetection: true,
+				Race:              detector,
+				Sched:             sched.Config{Quantum: simtime.Ticks(1000)},
+			})
+			if _, err := interp.Run(rt, prog, interp.Options{Rewritten: true, Out: io.Discard}); err != nil {
+				t.Fatal(err)
+			}
+			got := race.RenderReports(detector.Finalize())
+
+			golden := filepath.Join(dir, name+".race.expected")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,617 @@
+// Package race is the dynamic half of the data-race sanitizer: a
+// vector-clock happens-before detector in the FastTrack style (per-thread
+// epochs, a last-write epoch and a per-thread read map on every checked
+// slot), wired into the runtime's read/write barriers via core.Config.Race.
+//
+// Synchronization edges follow the Java memory model as the runtime
+// implements it: MONITOREXIT releases (publishes the owner's vector clock
+// into the monitor), MONITORENTER acquires (joins it), a volatile write
+// releases into the slot's own clock and a volatile read acquires from it.
+// Volatile accesses additionally run the slot check themselves, so a plain
+// (or barrier-elided raw) access racing against a volatile one is reported —
+// the dynamic face of the static pass's volatile-bypass finding — while
+// volatile-volatile pairs are ordered by the acquire they just performed and
+// never report.
+//
+// The paper-specific wrinkle is rollback-awareness (§2.2: a revoked section
+// must behave "as if it never executed"). Every checked access is recorded
+// in a per-thread history aligned with the task's section frames; when a
+// section is revoked, the history is retracted alongside the undo log: slot
+// metadata is restored where the aborted access is still current, and any
+// race report with a retracted endpoint is dropped. Reports are therefore
+// held PENDING until both endpoints can no longer be rolled back — at the
+// outermost commit, at a wait (which either publishes the prefix or marks
+// the nest non-revocable), at thread end, or at Finalize — and only then
+// emitted as trace.RaceDetected events.
+//
+// Deliberately, a rollback's ForceRelease does NOT publish the victim's
+// clock into the monitor: JMM-wise the aborted critical section never
+// happened, so there is no synchronizes-with edge until the re-execution's
+// real release. See DESIGN.md §9.
+package race
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/heap"
+	"repro/internal/monitor"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Site is the bytecode location of an access ("method@pc"); the zero value
+// renders as "?" for accesses performed through the Go-level core API.
+type Site struct {
+	Method string
+	PC     int
+}
+
+func (s Site) String() string {
+	if s.Method == "" {
+		return "?"
+	}
+	return fmt.Sprintf("%s@%d", s.Method, s.PC)
+}
+
+// Slot identifies one checked memory location.
+type Slot struct {
+	Kind heap.Kind // KindObject, KindArray or KindStatic
+	ID   uint64    // object/array id; unused for statics
+	Idx  int       // field index, element index, or static offset
+}
+
+// vclock is a sparse vector clock: thread id → last-synchronized epoch.
+type vclock map[int]uint64
+
+func (v vclock) copyInto(dst vclock) vclock {
+	if dst == nil {
+		dst = make(vclock, len(v))
+	}
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, c := range v {
+		dst[k] = c
+	}
+	return dst
+}
+
+func (v vclock) join(o vclock) {
+	for k, c := range o {
+		if c > v[k] {
+			v[k] = c
+		}
+	}
+}
+
+// access is one epoch-stamped slot access.
+type access struct {
+	tid  int
+	clk  uint64 // the accessor's own epoch at access time
+	seq  int64  // per-thread monotone sequence number (never reused)
+	site Site
+	at   simtime.Ticks
+	vol  bool // performed with volatile semantics
+	raw  bool // barrier-elided store: survives rollback, never retracted
+}
+
+func (a access) valid() bool { return a.tid != 0 || a.clk != 0 || a.seq != 0 }
+
+// varState is the FastTrack-style per-slot metadata: the last write epoch
+// and the last read epoch per thread since that write.
+type varState struct {
+	w     access
+	reads map[int]access
+}
+
+// record is one history entry: enough to restore the slot metadata the
+// access displaced, replayed in reverse on retraction.
+type record struct {
+	slot      Slot
+	isWrite   bool
+	raw       bool
+	acc       access         // the access this record installed
+	prevW     access         // write: displaced last-write
+	prevReads map[int]access // write: displaced read map (ownership moved)
+	prevRead  access         // read: displaced same-thread read entry
+	hadRead   bool
+}
+
+// threadState is the per-thread detector state.
+type threadState struct {
+	name    string
+	clk     uint64
+	vc      vclock
+	history []record
+	// marks[i] is the history length when section frame i was entered;
+	// aligned with the task's frame stack.
+	marks []int
+	// finalSeq: accesses with seq < finalSeq can no longer be rolled back.
+	finalSeq int64
+	nextSeq  int64
+	// retracted holds the seqs of rolled-back accesses (consulted when a
+	// pending report's endpoint is checked).
+	retracted map[int64]bool
+}
+
+// Endpoint is one side of a race report.
+type Endpoint struct {
+	Thread string
+	Site   string
+	Write  bool
+	At     simtime.Ticks
+
+	tid int
+	seq int64
+}
+
+// Report is one confirmed (post-finality) data race.
+type Report struct {
+	Slot  string // canonical slot name: "static:NAME", "field:#I", "array:elem"
+	Kind  string // "write-write", "read-write" (earlier read) or "write-read"
+	Prev  Endpoint
+	Cur   Endpoint
+	Count int64 // deduplicated occurrences of this (slot, kind, site-pair)
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s %s prev=%s (%s) cur=%s (%s) count=%d",
+		r.Kind, r.Slot, r.Prev.Site, r.Prev.Thread, r.Cur.Site, r.Cur.Thread, r.Count)
+}
+
+// reportKey dedups structurally identical races.
+type reportKey struct {
+	slot, kind         string
+	prevSite, curSite  string
+	prevWrite, curWrit bool
+}
+
+// pending is a not-yet-final report plus its dedup key.
+type pending struct {
+	rep     Report
+	key     reportKey
+	emitted bool
+}
+
+// Detector is the dynamic sanitizer. One instance serves one runtime; the
+// uniprocessor scheduler serializes all calls. The zero cost of a disabled
+// sanitizer is achieved by core checking Config.Race == nil, not here.
+type Detector struct {
+	hp   *heap.Heap
+	sink trace.Sink
+	now  func() simtime.Ticks
+
+	threads map[int]*threadState
+	mons    map[*monitor.Monitor]vclock
+	volVC   map[Slot]vclock
+	vars    map[Slot]*varState
+
+	pend    []*pending
+	byKey   map[reportKey]*pending
+	reports []Report
+
+	detected int64 // reports emitted
+	dropped  int64 // pending reports retracted by rollbacks
+	accesses int64
+	retracts int64 // access records retracted
+}
+
+// New returns an unbound detector; core's Runtime binds it at construction.
+func New() *Detector {
+	return &Detector{
+		threads: make(map[int]*threadState),
+		mons:    make(map[*monitor.Monitor]vclock),
+		volVC:   make(map[Slot]vclock),
+		vars:    make(map[Slot]*varState),
+		byKey:   make(map[reportKey]*pending),
+		now:     func() simtime.Ticks { return 0 },
+		sink:    trace.Discard,
+	}
+}
+
+// Bind attaches the detector to the runtime's heap (for slot names), tracer
+// (RaceDetected emission) and virtual clock. Called once by core.New.
+func (d *Detector) Bind(hp *heap.Heap, sink trace.Sink, now func() simtime.Ticks) {
+	d.hp = hp
+	if sink != nil {
+		d.sink = sink
+	}
+	if now != nil {
+		d.now = now
+	}
+}
+
+func (d *Detector) ts(tid int) *threadState {
+	t, ok := d.threads[tid]
+	if !ok {
+		t = &threadState{
+			clk:       1,
+			vc:        vclock{tid: 1},
+			retracted: make(map[int64]bool),
+			name:      fmt.Sprintf("thread-%d", tid),
+		}
+		d.threads[tid] = t
+	}
+	return t
+}
+
+// ThreadStart names a thread. Threads synchronize-with their spawner only
+// through real monitor/volatile edges; the runtime spawns all declared
+// threads before any runs, so no start edge exists to model.
+func (d *Detector) ThreadStart(tid int, name string) {
+	t := d.ts(tid)
+	t.name = name
+}
+
+// ThreadEnd finalizes a finished thread's history: with no frames left it
+// can never roll anything back again.
+func (d *Detector) ThreadEnd(tid int) {
+	t := d.ts(tid)
+	t.finalSeq = t.nextSeq
+	t.history = t.history[:0]
+	d.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization edges.
+
+// Acquire joins the monitor's release clock into the thread's clock
+// (MONITORENTER / wait re-acquire).
+func (d *Detector) Acquire(tid int, m *monitor.Monitor) {
+	if lm, ok := d.mons[m]; ok {
+		d.ts(tid).vc.join(lm)
+	}
+}
+
+// Release publishes the thread's clock into the monitor and advances the
+// thread's epoch (MONITOREXIT / wait release). Rollback's ForceRelease
+// deliberately does NOT call this: the aborted section never happened.
+func (d *Detector) Release(tid int, m *monitor.Monitor) {
+	t := d.ts(tid)
+	d.mons[m] = t.vc.copyInto(d.mons[m])
+	t.clk++
+	t.vc[tid] = t.clk
+}
+
+// ---------------------------------------------------------------------------
+// Section lifecycle (rollback-awareness).
+
+// SectionEnter pushes a history mark aligned with the task's new frame.
+func (d *Detector) SectionEnter(tid int) {
+	t := d.ts(tid)
+	t.marks = append(t.marks, len(t.history))
+}
+
+// SectionCommit pops the top mark. On the outermost commit every access of
+// the nest becomes permanent: the history is finalized and any pending
+// report whose endpoints are now both final is emitted.
+func (d *Detector) SectionCommit(tid int) {
+	t := d.ts(tid)
+	if n := len(t.marks); n > 0 {
+		t.marks = t.marks[:n-1]
+	}
+	if len(t.marks) == 0 {
+		t.finalSeq = t.nextSeq
+		t.history = t.history[:0]
+		d.flush()
+	}
+}
+
+// SectionRollback retracts every access recorded since frame idx was
+// entered — the revoked attempt's accesses "never happened". Raw stores are
+// skipped: their heap effects survive the undo replay, so their metadata
+// must too. Called by core.deliverRevocation after the undo-log replay;
+// marks above idx are discarded with their frames.
+func (d *Detector) SectionRollback(tid int, idx int) {
+	t := d.ts(tid)
+	if idx >= len(t.marks) {
+		return
+	}
+	mark := t.marks[idx]
+	for i := len(t.history) - 1; i >= mark; i-- {
+		rec := &t.history[i]
+		if rec.raw {
+			continue
+		}
+		t.retracted[rec.acc.seq] = true
+		d.retracts++
+		d.retract(rec)
+	}
+	t.history = t.history[:mark]
+	t.marks = t.marks[:idx]
+	d.dropRetracted()
+}
+
+// WaitTruncate handles the rollback-horizon move at Object.wait: whether
+// the wait published the log prefix (non-nested) or marked the whole nest
+// non-revocable (nested), no access made so far can be rolled back anymore.
+// The history is finalized and all live marks jump to the new origin.
+func (d *Detector) WaitTruncate(tid int) {
+	t := d.ts(tid)
+	t.finalSeq = t.nextSeq
+	t.history = t.history[:0]
+	for i := range t.marks {
+		t.marks[i] = 0
+	}
+	d.flush()
+}
+
+// retract restores the slot metadata rec displaced, but only where rec's
+// access is still current — a later access by another thread supersedes it
+// and is not touched (its own report, if racy, was already filed against
+// the retracted seq and will be dropped).
+func (d *Detector) retract(rec *record) {
+	vs := d.vars[rec.slot]
+	if vs == nil {
+		return
+	}
+	if rec.isWrite {
+		if vs.w.tid == rec.acc.tid && vs.w.seq == rec.acc.seq {
+			vs.w = rec.prevW
+			// Keep reads that landed after our write (they are later than
+			// the retracted access and belong to other threads); resurrect
+			// the displaced ones where no newer entry exists.
+			for tid, a := range rec.prevReads {
+				if _, ok := vs.reads[tid]; !ok {
+					if vs.reads == nil {
+						vs.reads = make(map[int]access, 2)
+					}
+					vs.reads[tid] = a
+				}
+			}
+		}
+		return
+	}
+	if cur, ok := vs.reads[rec.acc.tid]; ok && cur.seq == rec.acc.seq {
+		if rec.hadRead {
+			vs.reads[rec.acc.tid] = rec.prevRead
+		} else {
+			delete(vs.reads, rec.acc.tid)
+		}
+	}
+}
+
+// dropRetracted removes pending reports with a retracted endpoint.
+func (d *Detector) dropRetracted() {
+	w := 0
+	for _, p := range d.pend {
+		dead := false
+		for _, ep := range []Endpoint{p.rep.Prev, p.rep.Cur} {
+			if ts, ok := d.threads[ep.tid]; ok && ts.retracted[ep.seq] {
+				dead = true
+			}
+		}
+		if dead {
+			d.dropped++
+			delete(d.byKey, p.key)
+			continue
+		}
+		d.pend[w] = p
+		w++
+	}
+	d.pend = d.pend[:w]
+}
+
+// ---------------------------------------------------------------------------
+// Access checks.
+
+func (d *Detector) slotName(s Slot) string {
+	switch s.Kind {
+	case heap.KindStatic:
+		if d.hp != nil && s.Idx < d.hp.NumStatics() {
+			return "static:" + d.hp.StaticName(s.Idx)
+		}
+		return fmt.Sprintf("static:#%d", s.Idx)
+	case heap.KindArray:
+		return "array:elem"
+	default:
+		return fmt.Sprintf("field:#%d", s.Idx)
+	}
+}
+
+// hb reports whether access a happens-before thread t's current point.
+func hb(a access, t *threadState) bool { return a.clk <= t.vc[a.tid] }
+
+// Read checks and records a plain read (GETFIELD/GETSTATIC/ALOAD).
+func (d *Detector) Read(tid int, slot Slot, site Site) { d.check(tid, slot, site, false, false, false) }
+
+// Write checks and records a plain write (PUTFIELD/PUTSTATIC/ASTORE).
+func (d *Detector) Write(tid int, slot Slot, site Site) { d.check(tid, slot, site, true, false, false) }
+
+// RawWrite checks and records a barrier-elided store. Its heap effect
+// survives any rollback, so the record is marked non-retractable.
+func (d *Detector) RawWrite(tid int, slot Slot, site Site) {
+	d.check(tid, slot, site, true, false, true)
+}
+
+// VolatileRead acquires from the slot's clock, then runs the check (so a
+// racing plain write is still caught) with volatile semantics.
+func (d *Detector) VolatileRead(tid int, slot Slot, site Site) {
+	t := d.ts(tid)
+	if lv, ok := d.volVC[slot]; ok {
+		t.vc.join(lv)
+	}
+	d.check(tid, slot, site, false, true, false)
+}
+
+// VolatileWrite acquires from the slot's clock (volatile ops on one slot
+// are totally ordered), runs the check, then releases into the slot.
+func (d *Detector) VolatileWrite(tid int, slot Slot, site Site) {
+	t := d.ts(tid)
+	if lv, ok := d.volVC[slot]; ok {
+		t.vc.join(lv)
+	}
+	d.check(tid, slot, site, true, true, false)
+	d.volVC[slot] = t.vc.copyInto(d.volVC[slot])
+	t.clk++
+	t.vc[tid] = t.clk
+}
+
+// check is the FastTrack slot check plus history recording.
+func (d *Detector) check(tid int, slot Slot, site Site, isWrite, vol, raw bool) {
+	t := d.ts(tid)
+	vs := d.vars[slot]
+	if vs == nil {
+		vs = &varState{}
+		d.vars[slot] = vs
+	}
+	d.accesses++
+	cur := access{tid: tid, clk: t.vc[tid], seq: t.nextSeq, site: site, at: d.now(), vol: vol, raw: raw}
+	t.nextSeq++
+
+	// Race checks against the displaced metadata. Volatile-volatile pairs
+	// are ordered by the acquire performed just before this check.
+	if vs.w.valid() && vs.w.tid != tid && !hb(vs.w, t) {
+		kind := "write-read"
+		if isWrite {
+			kind = "write-write"
+		}
+		d.file(slot, kind, vs.w, cur)
+	}
+	if isWrite {
+		for _, r := range vs.reads {
+			if r.tid != tid && !hb(r, t) {
+				d.file(slot, "read-write", r, cur)
+			}
+		}
+	}
+
+	// Record the displaced state, then install the access.
+	rec := record{slot: slot, isWrite: isWrite, raw: raw, acc: cur}
+	if isWrite {
+		rec.prevW = vs.w
+		rec.prevReads = vs.reads
+		vs.w = cur
+		vs.reads = nil
+	} else {
+		if prev, ok := vs.reads[tid]; ok {
+			rec.prevRead = prev
+			rec.hadRead = true
+		}
+		if vs.reads == nil {
+			vs.reads = make(map[int]access, 2)
+		}
+		vs.reads[tid] = cur
+	}
+	if len(t.marks) > 0 && !raw {
+		t.history = append(t.history, rec)
+	} else {
+		// Outside any section (or a raw store) the access can never be
+		// rolled back: final immediately.
+		if t.nextSeq > t.finalSeq && len(t.marks) == 0 {
+			t.finalSeq = t.nextSeq
+			d.flush()
+		}
+	}
+}
+
+// file records a candidate report, deduplicated by (slot, kind, site pair).
+func (d *Detector) file(slot Slot, kind string, prev, cur access) {
+	name := d.slotName(slot)
+	key := reportKey{
+		slot: name, kind: kind,
+		prevSite: prev.site.String(), curSite: cur.site.String(),
+		prevWrite: kind == "write-write" || kind == "write-read",
+		curWrit:   kind != "write-read",
+	}
+	if p, ok := d.byKey[key]; ok {
+		p.rep.Count++
+		return
+	}
+	p := &pending{
+		key: key,
+		rep: Report{
+			Slot: name, Kind: kind, Count: 1,
+			Prev: Endpoint{Thread: d.ts(prev.tid).name, Site: prev.site.String(), Write: key.prevWrite, At: prev.at, tid: prev.tid, seq: prev.seq},
+			Cur:  Endpoint{Thread: d.ts(cur.tid).name, Site: cur.site.String(), Write: key.curWrit, At: cur.at, tid: cur.tid, seq: cur.seq},
+		},
+	}
+	d.pend = append(d.pend, p)
+	d.byKey[key] = p
+}
+
+// ---------------------------------------------------------------------------
+// Finality and emission.
+
+func (d *Detector) final(ep Endpoint) bool {
+	t, ok := d.threads[ep.tid]
+	return ok && ep.seq < t.finalSeq && !t.retracted[ep.seq]
+}
+
+// flush emits every pending report whose endpoints are both final.
+func (d *Detector) flush() {
+	w := 0
+	for _, p := range d.pend {
+		if !d.final(p.rep.Prev) || !d.final(p.rep.Cur) {
+			d.pend[w] = p
+			w++
+			continue
+		}
+		d.emit(p)
+	}
+	d.pend = d.pend[:w]
+}
+
+func (d *Detector) emit(p *pending) {
+	if p.emitted {
+		return
+	}
+	p.emitted = true
+	d.detected++
+	d.reports = append(d.reports, p.rep)
+	d.sink.Emit(trace.Event{
+		At: d.now(), Kind: trace.RaceDetected,
+		Thread: p.rep.Cur.Thread, Object: p.rep.Slot, Other: p.rep.Prev.Thread,
+		N:      p.rep.Count,
+		Detail: fmt.Sprintf("%s prev=%s cur=%s", p.rep.Kind, p.rep.Prev.Site, p.rep.Cur.Site),
+	})
+}
+
+// Finalize ends the run: every surviving access is permanent, so every
+// surviving pending report is emitted. It returns all reports in
+// deterministic order (slot, kind, sites). Idempotent.
+func (d *Detector) Finalize() []Report {
+	for _, t := range d.threads {
+		t.finalSeq = t.nextSeq
+	}
+	d.flush()
+	return d.Reports()
+}
+
+// Reports returns the reports emitted so far, sorted deterministically.
+func (d *Detector) Reports() []Report {
+	out := append([]Report(nil), d.reports...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Prev.Site != b.Prev.Site {
+			return a.Prev.Site < b.Prev.Site
+		}
+		return a.Cur.Site < b.Cur.Site
+	})
+	return out
+}
+
+// Stats returns (reports emitted, pending reports dropped by retraction,
+// access records retracted).
+func (d *Detector) Stats() (detected, droppedReports, retractedAccesses int64) {
+	return d.detected, d.dropped, d.retracts
+}
+
+// RenderReports formats reports as the deterministic text block rvmrun
+// -race prints and examples/racy pins as expected output.
+func RenderReports(reports []Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dynamic races: %d\n", len(reports))
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  race: %s\n", r)
+	}
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package race_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/monitor"
+	"repro/internal/race"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+var (
+	slotS = race.Slot{Kind: heap.KindStatic, Idx: 0}
+	slotD = race.Slot{Kind: heap.KindStatic, Idx: 1}
+	siteA = race.Site{Method: "a", PC: 1}
+	siteB = race.Site{Method: "b", PC: 2}
+)
+
+// newDetector returns an unbound detector with two named threads — slot
+// names fall back to "static:#N", which is all these tests need.
+func newDetector() *race.Detector {
+	d := race.New()
+	d.ThreadStart(1, "T1")
+	d.ThreadStart(2, "T2")
+	return d
+}
+
+func TestUnorderedWritesReported(t *testing.T) {
+	d := newDetector()
+	d.Write(1, slotS, siteA)
+	d.Write(2, slotS, siteB)
+	reports := d.Finalize()
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1: %v", len(reports), reports)
+	}
+	r := reports[0]
+	if r.Kind != "write-write" || r.Slot != "static:#0" ||
+		r.Prev.Thread != "T1" || r.Cur.Thread != "T2" {
+		t.Errorf("wrong report: %v", r)
+	}
+}
+
+func TestMonitorOrderingSuppresses(t *testing.T) {
+	d := newDetector()
+	m := monitor.New(nil, "M")
+	d.Acquire(1, m)
+	d.Write(1, slotS, siteA)
+	d.Release(1, m)
+	d.Acquire(2, m)
+	d.Write(2, slotS, siteB)
+	d.Read(2, slotS, siteB)
+	d.Release(2, m)
+	if reports := d.Finalize(); len(reports) != 0 {
+		t.Fatalf("lock-ordered accesses reported as races: %v", reports)
+	}
+}
+
+// TestVolatilePublication: volatile-volatile pairs never race, and the
+// acquire performed by a volatile read orders earlier plain writes too
+// (the safe-publication idiom the volbypass example breaks).
+func TestVolatilePublication(t *testing.T) {
+	d := newDetector()
+	d.Write(1, slotD, siteA)         // data
+	d.VolatileWrite(1, slotS, siteA) // flag release
+	d.VolatileRead(2, slotS, siteB)  // flag acquire
+	d.Read(2, slotD, siteB)          // data: ordered by the flag edge
+	if reports := d.Finalize(); len(reports) != 0 {
+		t.Fatalf("volatile publication reported as race: %v", reports)
+	}
+}
+
+// TestRawVsVolatileReported: a barrier-elided raw store to a volatile slot
+// publishes nothing, so a subsequent volatile read races with it — the
+// dynamic face of the static raw-store volatile-bypass finding.
+func TestRawVsVolatileReported(t *testing.T) {
+	d := newDetector()
+	d.RawWrite(1, slotS, siteA)
+	d.VolatileRead(2, slotS, siteB)
+	reports := d.Finalize()
+	if len(reports) != 1 || reports[0].Kind != "write-read" {
+		t.Fatalf("raw-vs-volatile not reported: %v", reports)
+	}
+}
+
+// TestRollbackRetractsAccess: an access made inside a revoked section must
+// not ground any later report — its slot metadata is restored wholesale.
+func TestRollbackRetractsAccess(t *testing.T) {
+	d := newDetector()
+	d.SectionEnter(1)
+	d.Write(1, slotS, siteA)
+	d.SectionRollback(1, 0)
+	d.Write(2, slotS, siteB) // would race with the retracted write
+	if reports := d.Finalize(); len(reports) != 0 {
+		t.Fatalf("retracted access grounded a report: %v", reports)
+	}
+	_, _, retracted := d.Stats()
+	if retracted != 1 {
+		t.Errorf("retracted accesses = %d, want 1", retracted)
+	}
+}
+
+// TestPendingReportDroppedOnRollback: a report already filed against an
+// access is withdrawn when that access is rolled back — reports stay
+// pending until both endpoints are beyond their rollback horizon.
+func TestPendingReportDroppedOnRollback(t *testing.T) {
+	d := newDetector()
+	d.SectionEnter(1)
+	d.Write(1, slotS, siteA)
+	d.Read(2, slotS, siteB) // files a pending write-read report
+	d.SectionRollback(1, 0)
+	if reports := d.Finalize(); len(reports) != 0 {
+		t.Fatalf("report with retracted endpoint survived: %v", reports)
+	}
+	_, dropped, _ := d.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped reports = %d, want 1", dropped)
+	}
+}
+
+// TestCommitConfirmsPending is the converse: the same interleaving with a
+// commit instead of a rollback emits the report.
+func TestCommitConfirmsPending(t *testing.T) {
+	d := newDetector()
+	d.SectionEnter(1)
+	d.Write(1, slotS, siteA)
+	d.Read(2, slotS, siteB)
+	d.SectionCommit(1)
+	reports := d.Finalize()
+	if len(reports) != 1 || reports[0].Kind != "write-read" {
+		t.Fatalf("committed race not reported: %v", reports)
+	}
+}
+
+// TestRevocationTransparencyProperty is the satellite property test: a
+// program whose only unsynchronized write happens on the first attempt of
+// an always-revoked section produces ZERO dynamic reports — the retraction
+// makes the revoked attempt invisible, exactly like its heap effects. The
+// converse program, identical except the re-execution writes too, must
+// report. Both halves also assert a rollback really happened, so the
+// "always-revoked" premise is checked, not assumed.
+func TestRevocationTransparencyProperty(t *testing.T) {
+	prop := func(seed int64, workSel uint8) bool {
+		work := simtime.Ticks(3000 + int64(workSel)*37)
+		for _, writeAlways := range []bool{false, true} {
+			detector := race.New()
+			rt := core.New(core.Config{
+				Mode:              core.Revocation,
+				TrackDependencies: true,
+				Race:              detector,
+				Sched:             sched.Config{Quantum: 1000, Seed: seed},
+			})
+			s := rt.Heap().DefineStatic("S", false, 0)
+			m := rt.NewMonitor("M")
+			attempt := 0
+			rt.Spawn("victim", sched.LowPriority, func(tk *core.Task) {
+				tk.Synchronized(m, func() {
+					attempt++
+					if attempt == 1 || writeAlways {
+						tk.WriteStatic(s, 42)
+					}
+					tk.Work(work)
+				})
+			})
+			rt.Spawn("revoker", sched.HighPriority, func(tk *core.Task) {
+				tk.Sleep(100) // let the victim enter first, then preempt it
+				tk.Synchronized(m, func() {})
+			})
+			rt.Spawn("reader", sched.LowPriority, func(tk *core.Task) {
+				tk.Sleep(4 * work) // read unsynchronized, after the commit
+				tk.ReadStatic(s)
+			})
+			if err := rt.Run(); err != nil {
+				t.Logf("seed %d writeAlways=%v: %v", seed, writeAlways, err)
+				return false
+			}
+			if rt.Stats().Rollbacks == 0 {
+				t.Logf("seed %d writeAlways=%v: no rollback happened", seed, writeAlways)
+				return false
+			}
+			reports := detector.Finalize()
+			if writeAlways && len(reports) == 0 {
+				t.Logf("seed %d: committed unsynchronized write not reported", seed)
+				return false
+			}
+			if !writeAlways && len(reports) != 0 {
+				t.Logf("seed %d: rolled-back write grounded reports: %v", seed, reports)
+				return false
+			}
+			if !writeAlways {
+				_, _, retracted := detector.Stats()
+				if retracted == 0 {
+					t.Logf("seed %d: write was never retracted", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

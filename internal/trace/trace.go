@@ -42,6 +42,12 @@ const (
 	// StaticPreMark records a monitor made non-revocable at monitorenter by
 	// load-time static analysis rather than by a dynamic trigger.
 	StaticPreMark
+	// RaceDetected records a data race confirmed by the dynamic sanitizer
+	// (internal/race): two accesses to one slot, at least one a write,
+	// unordered by happens-before — and neither retracted by a rollback.
+	// Thread is the later accessor, Other the earlier one, Object the slot,
+	// N the number of deduplicated occurrences of the same site pair.
+	RaceDetected
 )
 
 var kindNames = map[Kind]string{
@@ -68,6 +74,7 @@ var kindNames = map[Kind]string{
 	VolatileRead:      "volatile-read",
 	Custom:            "custom",
 	StaticPreMark:     "static-premark",
+	RaceDetected:      "race-detected",
 }
 
 // String returns the stable, hyphenated name of the kind.
@@ -119,10 +126,10 @@ func (e Event) String() string {
 
 // AllKinds returns every defined kind in declaration order. Exporters use
 // it to enumerate the stable name set; a new kind added above extends the
-// slice automatically (StaticPreMark is the last defined kind).
+// slice automatically (RaceDetected is the last defined kind).
 func AllKinds() []Kind {
-	kinds := make([]Kind, 0, int(StaticPreMark)+1)
-	for k := ThreadStart; k <= StaticPreMark; k++ {
+	kinds := make([]Kind, 0, int(RaceDetected)+1)
+	for k := ThreadStart; k <= RaceDetected; k++ {
 		kinds = append(kinds, k)
 	}
 	return kinds

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/heap"
 	"repro/internal/monitor"
+	"repro/internal/race"
 	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -96,6 +97,11 @@ type (
 	TraceSink = trace.Sink
 	// Protocol names a lock-management discipline for baselines.
 	Protocol = baseline.Protocol
+	// RaceDetector is the rollback-aware dynamic data-race sanitizer;
+	// plug one into Config.Race. See internal/race.
+	RaceDetector = race.Detector
+	// RaceReport is one confirmed dynamic data race.
+	RaceReport = race.Report
 )
 
 // VM modes.
@@ -150,6 +156,10 @@ func NewRuntime(cfg Config) *Runtime { return core.New(cfg) }
 // NewBaseline creates a runtime configured for one of the comparison
 // protocols over the shared scheduler configuration.
 func NewBaseline(p Protocol, schedCfg SchedConfig) *Runtime { return baseline.New(p, schedCfg) }
+
+// NewRaceDetector creates a dynamic data-race detector. Pass it as
+// Config.Race, then call Finalize after Run to collect the reports.
+func NewRaceDetector() *RaceDetector { return race.New() }
 
 // NewRevocationRuntime creates a runtime with the paper's recommended
 // configuration: revocation mode, acquire-time detection, JMM dependency
