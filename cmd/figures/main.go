@@ -176,7 +176,20 @@ func runJSONReport(path, label string) {
 	if err := bench.WriteReport(path, rep); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "appended %q (%d benchmarks) to %s\n", label, len(rep.Benchmarks), path)
+	// Profiler digest: the overhead of attribution and where each workload
+	// wastes its rolled-back ticks, straight from the recorded pairs.
+	for _, pr := range rep.Profiler {
+		fmt.Fprintf(os.Stderr, "  %-28s profiler overhead %+.1f%% (off %.0f → on %.0f ns/op)\n",
+			pr.Name, pr.OverheadPct, pr.OffNsPerOp, pr.OnNsPerOp)
+		for i, site := range pr.TopWaste {
+			fmt.Fprintf(os.Stderr, "      waste #%d %-16s pc=%-4d %d ticks\n", i+1, site.Func, site.PC, site.Ticks)
+		}
+		for i, site := range pr.TopBlock {
+			fmt.Fprintf(os.Stderr, "      block #%d %-16s pc=%-4d %d ticks\n", i+1, site.Func, site.PC, site.Ticks)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "appended %q (%d benchmarks, %d profiled cells) to %s\n",
+		label, len(rep.Benchmarks), len(rep.Profiler), path)
 }
 
 func fatal(err error) {

@@ -20,19 +20,32 @@
 // from each revocation request to the rollback it caused. -metrics prints
 // virtual-time latency histograms (per-monitor hold, per-thread blocking,
 // rollback wasted ticks) with p50/p90/p99 in ticks.
+//
+// Profiling: -profile DIR attaches the virtual-time profiler and writes
+// work/waste/block/sched profiles into DIR, each as a gzipped pprof
+// protobuf (open with `go tool pprof -http=: DIR/waste.pb.gz`) and as
+// folded stacks for flamegraph tooling. -http ADDR additionally serves the
+// profiles and Prometheus text metrics live while the VM runs
+// (/debug/pprof/, /metrics); add -http-wait to keep serving after the run
+// until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 
 	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/race"
 	"repro/internal/rewrite"
 	"repro/internal/sched"
@@ -58,6 +71,11 @@ func main() {
 		traceFormat = flag.String("trace-format", "text", "trace file format: text, jsonl or perfetto")
 		metrics     = flag.String("metrics", "", "print latency histograms at the end: text or json")
 		metricsOut  = flag.String("metrics-out", "", "write metrics to FILE instead of stderr (- for stdout)")
+
+		profileDir = flag.String("profile", "", "write virtual-time profiles (pprof + folded stacks) into DIR")
+		httpAddr   = flag.String("http", "", "serve live /metrics and /debug/pprof/ profiles on ADDR (e.g. :8080)")
+		httpWait   = flag.Bool("http-wait", false, "with -http: keep serving after the run until interrupted")
+		switchCost = flag.Int64("switch-cost", 0, "context-switch cost in ticks (shows up in the sched profile)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -147,6 +165,7 @@ func main() {
 	var (
 		obsSinks  trace.Multi
 		observer  *obs.Observer
+		syncObs   *obs.SyncObserver
 		jsonl     *obs.JSONLWriter
 		traceFile io.WriteCloser
 	)
@@ -163,7 +182,14 @@ func main() {
 			obsSinks = append(obsSinks, jsonl)
 		}
 	}
-	if *metrics != "" || *traceFormat == "perfetto" {
+	switch {
+	case *httpAddr != "":
+		// The live endpoint scrapes from a foreign goroutine: the observer
+		// must be the mutex-wrapped variant. Post-run consumers read the
+		// inner observer once the VM has stopped.
+		syncObs = obs.NewSyncObserver()
+		obsSinks = append(obsSinks, syncObs)
+	case *metrics != "" || *traceFormat == "perfetto":
 		observer = obs.NewObserver()
 		obsSinks = append(obsSinks, observer)
 	}
@@ -174,6 +200,18 @@ func main() {
 		obsSink = obsSinks[0]
 	default:
 		obsSink = obsSinks
+	}
+
+	var profiler *prof.Profiler
+	if *profileDir != "" || *httpAddr != "" {
+		profiler = prof.New()
+	}
+	var srvDone func()
+	if *httpAddr != "" {
+		srvDone, err = serveHTTP(*httpAddr, profiler, syncObs, *httpWait)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var detector *race.Detector
@@ -187,7 +225,12 @@ func main() {
 		Tracer:            sink,
 		Observer:          obsSink,
 		Race:              detector,
-		Sched:             sched.Config{Quantum: simtime.Ticks(*quantum), Seed: *seed},
+		Profiler:          profiler,
+		Sched: sched.Config{
+			Quantum:    simtime.Ticks(*quantum),
+			Seed:       *seed,
+			SwitchCost: simtime.Ticks(*switchCost),
+		},
 	})
 	env, runErr := interp.Run(rt, prog, interp.Options{
 		Rewritten: *doRewrite,
@@ -195,6 +238,11 @@ func main() {
 		Facts:     facts,
 		Out:       os.Stdout,
 	})
+	if syncObs != nil {
+		// The VM has stopped emitting; the inner observer is now safe for
+		// the post-run exporters.
+		observer = syncObs.Observer()
+	}
 	if runErr != nil && env == nil {
 		finishExports(traceFile, jsonl, observer, *traceFormat)
 		fatal(runErr)
@@ -211,6 +259,11 @@ func main() {
 	}
 	if *stats {
 		printStats(rt)
+		if profiler != nil {
+			fmt.Fprintf(os.Stderr, "profile: work=%d waste=%d block=%d sched=%d ticks\n",
+				profiler.Total(prof.Work), profiler.Total(prof.Waste),
+				profiler.Total(prof.Block), profiler.Total(prof.Sched))
+		}
 	}
 	if detector != nil {
 		fmt.Fprint(os.Stderr, race.RenderReports(raceReports))
@@ -223,12 +276,82 @@ func main() {
 	if err := finishExports(traceFile, jsonl, observer, *traceFormat); err != nil {
 		fatal(err)
 	}
+	if *profileDir != "" {
+		if err := writeProfiles(profiler, *profileDir); err != nil {
+			fatal(err)
+		}
+	}
+	if srvDone != nil {
+		srvDone()
+	}
 	if runErr != nil {
 		fatal(runErr)
 	}
 	if len(raceReports) > 0 {
 		os.Exit(1)
 	}
+}
+
+// serveHTTP starts the live profiling endpoint. The returned function is
+// called after the run: it either closes the listener, or (wait) keeps
+// serving until the process is interrupted.
+func serveHTTP(addr string, p *prof.Profiler, so *obs.SyncObserver, wait bool) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var extra func(io.Writer)
+	if so != nil {
+		extra = func(w io.Writer) {
+			obs.WritePrometheus(w, so.MetricsSummary())
+		}
+	}
+	srv := &http.Server{Handler: prof.Handler(p, extra)}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "rvmrun: serving live metrics and profiles on http://%s/\n", ln.Addr())
+	return func() {
+		if wait {
+			fmt.Fprintf(os.Stderr, "rvmrun: run complete; still serving on http://%s/ — interrupt to exit\n", ln.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}
+		srv.Close()
+	}, nil
+}
+
+// writeProfiles snapshots the profiler and writes every dimension into dir
+// as a gzipped pprof protobuf plus folded stacks.
+func writeProfiles(p *prof.Profiler, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	snap := p.Snapshot()
+	for _, d := range prof.Dims() {
+		pb, err := os.Create(filepath.Join(dir, d.String()+".pb.gz"))
+		if err != nil {
+			return err
+		}
+		err = snap.WritePprof(pb, d)
+		if cerr := pb.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fold, err := os.Create(filepath.Join(dir, d.String()+".folded"))
+		if err != nil {
+			return err
+		}
+		err = snap.WriteFolded(fold, d)
+		if cerr := fold.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // finishExports completes the trace file: flushes the JSONL stream or

@@ -2,19 +2,25 @@
 // `rvmrun -trace-out FILE -trace-format=jsonl` against the rvm-trace
 // schema: a leading meta line carrying the schema version and the complete
 // kind vocabulary, followed by event lines with known kinds and
-// non-negative timestamps. CI runs it over example traces so a schema
-// drift (renamed kind, missing meta field) fails the build instead of
-// silently breaking downstream consumers.
+// non-negative timestamps. The validated events are then replayed into the
+// observer, and any it drops as unjoinable (a wait-end without a start, a
+// rollback for an unheld monitor) are reported — a nonzero count means the
+// stream would not reconstruct faithfully. CI runs tracecheck over example
+// traces so a schema drift (renamed kind, missing meta field) fails the
+// build instead of silently breaking downstream consumers.
 //
 // Usage:
 //
-//	tracecheck FILE...         validate each file, report event counts
-//	tracecheck -               validate standard input
+//	tracecheck [-strict] FILE...   validate each file, report event and
+//	                               dropped counts
+//	tracecheck [-strict] -         validate standard input
 //
-// Exit status is 0 when every input validates, 1 otherwise.
+// Exit status is 0 when every input validates, 1 otherwise. With -strict,
+// dropped events also fail the run.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -23,24 +29,27 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE...   (or '-' for stdin)")
-		os.Exit(2)
-	}
-	ok := true
-	for _, path := range args {
-		if err := check(path); err != nil {
-			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
-			ok = false
-		}
-	}
-	if !ok {
-		os.Exit(1)
-	}
+	strict := flag.Bool("strict", false, "exit non-zero when the observer dropped any event as unjoinable")
+	flag.Parse()
+	os.Exit(run(os.Stdout, os.Stderr, flag.Args(), *strict))
 }
 
-func check(path string) error {
+func run(out, errw io.Writer, args []string, strict bool) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errw, "usage: tracecheck [-strict] FILE...   (or '-' for stdin)")
+		return 2
+	}
+	code := 0
+	for _, path := range args {
+		if err := check(out, path, strict); err != nil {
+			fmt.Fprintf(errw, "tracecheck: %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+func check(out io.Writer, path string, strict bool) error {
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin
@@ -52,10 +61,18 @@ func check(path string) error {
 		defer f.Close()
 		r = f
 	}
-	n, err := obs.ValidateJSONL(r)
+	events, err := obs.ParseJSONL(r)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: ok (schema v%d, %d events)\n", path, obs.SchemaVersion, n)
+	o := obs.NewObserver()
+	for _, e := range events {
+		o.Emit(e)
+	}
+	fmt.Fprintf(out, "%s: ok (schema v%d, %d events, %d dropped)\n",
+		path, obs.SchemaVersion, len(events), o.Dropped())
+	if strict && o.Dropped() > 0 {
+		return fmt.Errorf("%d events dropped as unjoinable (-strict)", o.Dropped())
+	}
 	return nil
 }

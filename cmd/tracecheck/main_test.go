@@ -1,42 +1,90 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
-func TestCheckValidAndInvalid(t *testing.T) {
-	dir := t.TempDir()
-
-	good := filepath.Join(dir, "good.jsonl")
-	f, err := os.Create(good)
+func writeTrace(t *testing.T, path string, events ...trace.Event) {
+	t.Helper()
+	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	w := obs.NewJSONLWriter(f)
-	w.Emit(trace.Event{At: 1, Kind: trace.ThreadStart, Thread: "T", N: 5})
-	w.Emit(trace.Event{At: 9, Kind: trace.Rollback, Thread: "T", Object: "M", N: 3})
+	for _, e := range events {
+		w.Emit(e)
+	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
-	if err := check(good); err != nil {
-		t.Fatalf("valid trace rejected: %v", err)
+}
+
+func TestRunValidAndInvalid(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.jsonl")
+	writeTrace(t, good,
+		trace.Event{At: 1, Kind: trace.ThreadStart, Thread: "T", N: 5},
+		trace.Event{At: 3, Kind: trace.MonitorAcquired, Thread: "T", Object: "M"},
+		trace.Event{At: 9, Kind: trace.MonitorExit, Thread: "T", Object: "M"},
+	)
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{good}, false); code != 0 {
+		t.Fatalf("valid trace: exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "ok (schema v") || !strings.Contains(out.String(), "3 events, 0 dropped") {
+		t.Errorf("report = %q", out.String())
 	}
 
 	bad := filepath.Join(dir, "bad.jsonl")
 	if err := os.WriteFile(bad, []byte("{\"type\":\"meta\",\"v\":99}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := check(bad); err == nil {
-		t.Fatal("invalid trace accepted")
+	if code := run(&out, &errw, []string{bad}, false); code != 1 {
+		t.Errorf("invalid trace: exit %d, want 1", code)
+	}
+	if code := run(&out, &errw, []string{filepath.Join(dir, "missing.jsonl")}, false); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := run(&out, &errw, nil, false); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+}
+
+// TestRunStrictDropped pins the -strict contract: a schema-valid stream the
+// observer cannot fully join (here a wait-end with no wait-start) passes by
+// default but fails under -strict, with the dropped count surfaced either
+// way.
+func TestRunStrictDropped(t *testing.T) {
+	dir := t.TempDir()
+	lossy := filepath.Join(dir, "lossy.jsonl")
+	writeTrace(t, lossy,
+		trace.Event{At: 1, Kind: trace.ThreadStart, Thread: "T", N: 5},
+		trace.Event{At: 7, Kind: trace.WaitEnd, Thread: "T", Object: "M"},
+	)
+
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{lossy}, false); code != 0 {
+		t.Fatalf("lossy trace without -strict: exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "1 dropped") {
+		t.Errorf("dropped count not reported: %q", out.String())
 	}
 
-	if err := check(filepath.Join(dir, "missing.jsonl")); err == nil {
-		t.Fatal("missing file accepted")
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{lossy}, true); code != 1 {
+		t.Errorf("lossy trace with -strict: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "dropped as unjoinable") {
+		t.Errorf("strict failure not explained: %q", errw.String())
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/heap"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -124,7 +125,7 @@ type CellResult struct {
 
 // RunCell executes one benchmark cell deterministically.
 func RunCell(vm VM, p Params) (CellResult, error) {
-	return runCell(vm, p, nil)
+	return runCell(vm, p, nil, nil)
 }
 
 // RunCellObserved executes one cell with an obs.Observer attached via the
@@ -133,11 +134,21 @@ func RunCell(vm VM, p Params) (CellResult, error) {
 // nothing: virtual time is unaffected by the extra sink.
 func RunCellObserved(vm VM, p Params) (CellResult, *obs.Observer, error) {
 	o := obs.NewObserver()
-	res, err := runCell(vm, p, o)
+	res, err := runCell(vm, p, o, nil)
 	return res, o, err
 }
 
-func runCell(vm VM, p Params, observer trace.Sink) (CellResult, error) {
+// RunCellProfiled executes one cell with the virtual-time profiler
+// attached via Config.Profiler, returning the profiler alongside the
+// timing result. Like observation, profiling never perturbs virtual time —
+// it only attributes the ticks the run would charge anyway.
+func RunCellProfiled(vm VM, p Params) (CellResult, *prof.Profiler, error) {
+	pr := prof.New()
+	res, err := runCell(vm, p, nil, pr)
+	return res, pr, err
+}
+
+func runCell(vm VM, p Params, observer trace.Sink, profiler *prof.Profiler) (CellResult, error) {
 	p.DefaultCosts()
 	mode := core.Unmodified
 	if vm == Modified {
@@ -151,6 +162,7 @@ func runCell(vm VM, p Params, observer trace.Sink) (CellResult, error) {
 		CostLogEntry:      p.CostLogEntry,
 		CostUndoEntry:     p.CostUndoEntry,
 		Observer:          observer,
+		Profiler:          profiler,
 		Sched:             sched.Config{Quantum: p.Quantum, Seed: p.Seed},
 	})
 	buf := rt.Heap().AllocArray(p.BufferLen)

@@ -1,0 +1,95 @@
+// Profiler overhead recording: like the barriers-vs-elided pair, each
+// report carries an off-vs-on wall-clock pair for the virtual-time
+// profiler, plus the profiler's own output — the top waste sites of one
+// representative cell per thread mix. The pair keeps the "nil = zero cost"
+// contract honest across changes; the waste sites give every perf PR a
+// target (the ROADMAP's "flamegraph to aim at").
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/prof"
+)
+
+// ProfiledResult is the profiler record of one cell: the overhead pair and
+// the profile digest.
+type ProfiledResult struct {
+	Name string `json:"name"`
+	VM   string `json:"vm"`
+	// OffNsPerOp / OnNsPerOp are the cell's wall-clock cost without and
+	// with the profiler attached; OverheadPct is the relative increase.
+	OffNsPerOp  float64 `json:"off_ns_per_op"`
+	OnNsPerOp   float64 `json:"on_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// Tick totals per profile dimension. Work+Waste+Sched equals the run's
+	// final virtual time; WasteTicks equals core.Stats.WastedTicks.
+	WorkTicks  int64 `json:"work_ticks"`
+	WasteTicks int64 `json:"waste_ticks"`
+	BlockTicks int64 `json:"block_ticks"`
+	SchedTicks int64 `json:"sched_ticks"`
+	// TopWaste ranks the (method, pc) sites whose ticks rollbacks
+	// discarded — where revocation hurts this workload most.
+	TopWaste []prof.TopSite `json:"top_waste,omitempty"`
+	// TopBlock ranks the contended monitors by blocked ticks.
+	TopBlock []prof.TopSite `json:"top_block,omitempty"`
+}
+
+// RunProfiled measures the profiler overhead pair and records profile
+// digests: one representative modified-VM cell per thread mix (write ratio
+// 40 %, ScaleSmall). progress, if non-nil, is called per finished result.
+func RunProfiled(progress func(ProfiledResult)) ([]ProfiledResult, error) {
+	var out []ProfiledResult
+	for _, mix := range Mixes {
+		p := CellParams(ScaleSmall, true, mix, 40)
+		var runErr error
+		off := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunCell(Modified, p); err != nil {
+					runErr = err
+					b.Skip(err)
+					return
+				}
+			}
+		})
+		on := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := RunCellProfiled(Modified, p); err != nil {
+					runErr = err
+					b.Skip(err)
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("bench: profiled cell %v: %w", mix, runErr)
+		}
+		// One more profiled run for the digest itself.
+		_, pr, err := RunCellProfiled(Modified, p)
+		if err != nil {
+			return nil, fmt.Errorf("bench: profiled cell %v: %w", mix, err)
+		}
+		snap := pr.Snapshot()
+		offNs := float64(off.T.Nanoseconds()) / float64(off.N)
+		onNs := float64(on.T.Nanoseconds()) / float64(on.N)
+		res := ProfiledResult{
+			Name:        fmt.Sprintf("Profiler/%dhigh%dlow_w40", mix.High, mix.Low),
+			VM:          Modified.String(),
+			OffNsPerOp:  offNs,
+			OnNsPerOp:   onNs,
+			OverheadPct: (onNs - offNs) / offNs * 100,
+			WorkTicks:   snap.Totals[prof.Work],
+			WasteTicks:  snap.Totals[prof.Waste],
+			BlockTicks:  snap.Totals[prof.Block],
+			SchedTicks:  snap.Totals[prof.Sched],
+			TopWaste:    snap.Top(prof.Waste, 5),
+			TopBlock:    snap.Top(prof.Block, 5),
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(res)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/prof"
+)
+
+// TestRunCellProfiledMatchesPlain checks profiling is a pure read — the
+// same cell with and without the profiler produces identical virtual-time
+// results — and that the profile reconciles with the runtime stats.
+func TestRunCellProfiledMatchesPlain(t *testing.T) {
+	p := CellParams(ScaleSmall, true, Mix{2, 2}, 60)
+	plain, err := RunCell(Modified, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, pr, err := RunCellProfiled(Modified, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HighSpan != profiled.HighSpan || plain.OverallSpan != profiled.OverallSpan {
+		t.Errorf("profiling perturbed the run: plain %d/%d, profiled %d/%d",
+			plain.HighSpan, plain.OverallSpan, profiled.HighSpan, profiled.OverallSpan)
+	}
+	if plain.Stats != profiled.Stats {
+		t.Errorf("stats diverged:\nplain    %+v\nprofiled %+v", plain.Stats, profiled.Stats)
+	}
+	if got, want := pr.Total(prof.Waste), int64(profiled.Stats.WastedTicks); got != want {
+		t.Errorf("waste reconciliation: profile %d, stats %d", got, want)
+	}
+	if pr.Total(prof.Work) == 0 {
+		t.Error("no work ticks attributed")
+	}
+	if pr.Total(prof.Block) == 0 {
+		t.Error("a contended cell blocked no ticks")
+	}
+	// Per-thread attribution: every bench thread appears as a root.
+	snap := pr.Snapshot()
+	roots := map[string]bool{}
+	for _, smp := range snap.Dims[prof.Work] {
+		roots[smp.Stack[len(smp.Stack)-1].Func] = true
+	}
+	for _, want := range []string{"high0", "low0"} {
+		if !roots[want] {
+			t.Errorf("no work attributed to thread %s (roots %v)", want, roots)
+		}
+	}
+}
+
+func TestRunProfiledReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks every mix off and on")
+	}
+	var calls int
+	results, err := RunProfiled(func(ProfiledResult) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Mixes) || calls != len(Mixes) {
+		t.Fatalf("got %d results, %d callbacks, want %d", len(results), calls, len(Mixes))
+	}
+	for _, pr := range results {
+		if pr.Name == "" || pr.VM == "" {
+			t.Errorf("unlabelled result: %+v", pr)
+		}
+		if pr.OffNsPerOp <= 0 || pr.OnNsPerOp <= 0 {
+			t.Errorf("%s: non-positive timings %+v", pr.Name, pr)
+		}
+		if pr.WorkTicks == 0 {
+			t.Errorf("%s: no work ticks", pr.Name)
+		}
+		if pr.WasteTicks > 0 && len(pr.TopWaste) == 0 {
+			t.Errorf("%s: %d waste ticks but no top sites", pr.Name, pr.WasteTicks)
+		}
+	}
+	// The digests must survive the report JSON round trip.
+	data, err := json.Marshal(Report{Label: "t", Profiler: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Profiler) != len(results) {
+		t.Fatalf("round trip lost profiler results: %d != %d", len(back.Profiler), len(results))
+	}
+}

@@ -38,6 +38,10 @@ type Report struct {
 	// Latency holds the per-thread blocking-time and rollback wasted-work
 	// distributions of representative observed cells (see RunLatency).
 	Latency []LatencyResult `json:"latency,omitempty"`
+	// Profiler holds the profiler-off-vs-on overhead pairs and profile
+	// digests (top waste/block sites) of representative cells (see
+	// RunProfiled).
+	Profiler []ProfiledResult `json:"profiler,omitempty"`
 }
 
 // measure runs one benchmark body under testing.Benchmark.
@@ -56,9 +60,10 @@ func measure(name string, body func(b *testing.B)) BenchResult {
 }
 
 // RunReport executes the benchmark suite: the three barrier/rollback
-// micro-benchmarks, all twelve figure panels at ScaleSmall, and the
-// observed latency cells (RunLatency). progress and latProgress, if
-// non-nil, are called with each finished result.
+// micro-benchmarks, all twelve figure panels at ScaleSmall, the observed
+// latency cells (RunLatency), and the profiler overhead pairs
+// (RunProfiled). progress and latProgress, if non-nil, are called with
+// each finished result.
 func RunReport(label, date string, progress func(BenchResult), latProgress func(LatencyResult)) (Report, error) {
 	rep := Report{
 		Label:     label,
@@ -123,6 +128,24 @@ func RunReport(label, date string, progress func(BenchResult), latProgress func(
 		return rep, err
 	}
 	rep.Latency = lat
+
+	profiled, err := RunProfiled(func(pr ProfiledResult) {
+		if progress != nil {
+			progress(BenchResult{
+				Name:       pr.Name + "/on",
+				Iterations: 1,
+				NsPerOp:    pr.OnNsPerOp,
+				Stats: map[string]int64{
+					"overhead_pct_x100": int64(pr.OverheadPct * 100),
+					"waste_ticks":       pr.WasteTicks,
+				},
+			})
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Profiler = profiled
 	return rep, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/jmm"
 	"repro/internal/monitor"
+	"repro/internal/prof"
 	"repro/internal/race"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -156,6 +157,14 @@ type Config struct {
 	// cost: the tracer is used directly.
 	Observer trace.Sink
 
+	// Profiler, when non-nil, attaches the virtual-time profiler
+	// (internal/prof): every tick a thread charges is attributed to its
+	// current (method, pc) site, with rollback reclassifying the retracted
+	// ticks from work to waste and blocking charged against the contended
+	// monitor. A nil Profiler adds no cost: all hooks sit behind a nil
+	// check, the same contract as Race and Observer.
+	Profiler *prof.Profiler
+
 	// FIFOMonitorQueues disables the paper's prioritized monitor queues:
 	// monitors created by this runtime serve waiters in arrival order.
 	// Used by the queue-discipline ablation (the paper implemented
@@ -264,6 +273,11 @@ func New(cfg Config) *Runtime {
 	if cfg.Race != nil {
 		cfg.Race.Bind(hp, rt.tracer, rt.sch.Now)
 	}
+	if cfg.Profiler != nil {
+		p := cfg.Profiler
+		rt.sch.OnSwitchCost = func(d simtime.Ticks) { p.SchedTick("context-switch", d) }
+		rt.sch.OnIdle = func(d simtime.Ticks) { p.SchedTick("idle", d) }
+	}
 	if cfg.Mode == Revocation && (cfg.Detect == DetectPeriodic || cfg.Detect == DetectBoth) {
 		period := cfg.DetectPeriod
 		if period <= 0 {
@@ -319,6 +333,9 @@ func (rt *Runtime) Monitors() []*monitor.Monitor { return rt.monitors }
 // Spawn creates a simulated thread running body.
 func (rt *Runtime) Spawn(name string, prio sched.Priority, body func(*Task)) *Task {
 	task := &Task{rt: rt, log: undo.NewLog(64)}
+	if rt.cfg.Profiler != nil {
+		task.tp = rt.cfg.Profiler.Thread(name)
+	}
 	task.th = rt.sch.Spawn(name, prio, func(th *sched.Thread) {
 		body(task)
 		task.finish()
@@ -423,6 +440,12 @@ type Task struct {
 	// for Go-level API accesses).
 	raceMethod string
 	racePC     int
+
+	// tp is the task's virtual-time profiler handle (nil when
+	// Config.Profiler is nil). The interpreter maintains its call stack
+	// and pc via SetProfSite/ProfPush/ProfPopTo; Go-level tasks profile
+	// under the thread root alone.
+	tp *prof.ThreadProf
 }
 
 // Thread returns the underlying scheduler thread.
@@ -460,6 +483,9 @@ func (t *Task) finish() {
 func (t *Task) step(cost simtime.Ticks) {
 	if !t.rt.cfg.NoCosts {
 		t.th.Advance(cost)
+		if t.tp != nil {
+			t.tp.Tick(cost)
+		}
 	}
 	t.th.YieldPoint()
 	if t.revokeReq != nil {
@@ -539,6 +565,9 @@ func (t *Task) sectionMark() undo.Mark {
 func (t *Task) chargeLogEntry() {
 	if !t.rt.cfg.NoCosts {
 		t.th.Advance(t.rt.cfg.CostLogEntry)
+		if t.tp != nil {
+			t.tp.Tick(t.rt.cfg.CostLogEntry)
+		}
 	}
 }
 
@@ -804,7 +833,11 @@ func (t *Task) enter(m *monitor.Monitor) {
 			// (the paper's prioritized admission): just wait our turn.
 			rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorBlocked, Thread: t.Name(), Object: m.Name(), Detail: "queued"})
 			rt.waiting[t] = m
+			blockedAt := rt.sch.Now()
 			kind := m.BlockOn(t.th)
+			if t.tp != nil {
+				t.tp.BlockTick(rt.sch.Now()-blockedAt, m.Name())
+			}
 			delete(rt.waiting, t)
 			if kind == sched.WakeInterrupt && t.revokeReq != nil {
 				t.deliverRevocation()
@@ -834,7 +867,11 @@ func (t *Task) enter(m *monitor.Monitor) {
 			}
 		}
 		rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorBlocked, Thread: t.Name(), Object: m.Name(), Other: owner.Name()})
+		blockedAt := rt.sch.Now()
 		kind := m.BlockOn(t.th)
+		if t.tp != nil {
+			t.tp.BlockTick(rt.sch.Now()-blockedAt, m.Name())
+		}
 		delete(rt.waiting, t)
 		if kind == sched.WakeGranted {
 			// A revocation may have targeted our still-pending grant: a
@@ -880,7 +917,12 @@ func (t *Task) enter(m *monitor.Monitor) {
 		}
 		d.SectionEnter(t.th.ID()) // mark pushed for every frame, reentrant included
 	}
-	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorAcquired, Thread: t.Name(), Object: m.Name(), Detail: fmt.Sprintf("depth=%d", len(t.frames))})
+	if t.tp != nil {
+		t.tp.SectionEnter()
+	}
+	// N carries the undo-log depth so trace consumers (the Perfetto counter
+	// tracks) can plot speculative state without replaying barrier logic.
+	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorAcquired, Thread: t.Name(), Object: m.Name(), N: int64(t.log.Len()), Detail: fmt.Sprintf("depth=%d", len(t.frames))})
 }
 
 // commitTop exits the top frame normally. Updates become permanent only
@@ -913,7 +955,10 @@ func (t *Task) commitTop(m *monitor.Monitor) {
 		}
 		d.SectionCommit(t.th.ID())
 	}
-	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorExit, Thread: t.Name(), Object: m.Name()})
+	if t.tp != nil {
+		t.tp.SectionCommit()
+	}
+	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorExit, Thread: t.Name(), Object: m.Name(), N: int64(t.log.Len())})
 	t.YieldPoint()
 }
 
@@ -1034,6 +1079,12 @@ func (t *Task) deliverRevocation() {
 	undone := t.log.RollbackTo(mark, rt.hp)
 	if !rt.cfg.NoCosts && undone > 0 {
 		t.th.Advance(simtime.Ticks(undone) * rt.cfg.CostUndoEntry)
+		if t.tp != nil {
+			// The undo replay itself is charged before the wasted-CPU delta
+			// below is computed, so journaling it here keeps the profiler's
+			// waste dimension identical to Stats.WastedTicks.
+			t.tp.Tick(simtime.Ticks(undone) * rt.cfg.CostUndoEntry)
+		}
 	}
 	// 2. Release the monitors acquired by the doomed span, innermost
 	// first. Reentrant frames carry no ownership of their own.
@@ -1053,6 +1104,9 @@ func (t *Task) deliverRevocation() {
 	// never happened, so there is no synchronizes-with edge here.
 	if d := rt.cfg.Race; d != nil {
 		d.SectionRollback(t.th.ID(), idx)
+	}
+	if t.tp != nil {
+		t.tp.SectionRollback(idx)
 	}
 	wasted := t.th.CPU() - target.startCPU
 	t.rollbacks++
@@ -1101,12 +1155,19 @@ func (t *Task) Wait(m *monitor.Monitor) {
 		d.WaitTruncate(t.th.ID())
 		d.Release(t.th.ID(), m)
 	}
+	if t.tp != nil {
+		t.tp.WaitTruncate()
+	}
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.WaitStart, Thread: t.Name(), Object: m.Name()})
+	waitedAt := rt.sch.Now()
 	m.Wait(t.th, func() {
 		if t.revokeReq != nil {
 			t.deliverRevocation()
 		}
 	})
+	if t.tp != nil {
+		t.tp.BlockTick(rt.sch.Now()-waitedAt, m.Name())
+	}
 	// Re-acquired: the frame now covers a fresh ownership span. The paper
 	// limits rollback to the wait point (footnote 2: "a potential rollback
 	// will therefore not reach beyond the point when wait was called");

@@ -129,6 +129,44 @@ func (t *Task) raceSite() race.Site {
 	return race.Site{Method: t.raceMethod, PC: t.racePC}
 }
 
+// ---------------------------------------------------------------------------
+// Profiler hooks (Config.Profiler != nil; all no-ops otherwise). The
+// interpreter mirrors its frame stack into the profiler: SetProfSite before
+// every instruction, ProfPush at method entry, ProfPopTo after any pop
+// (return, exception unwind, rollback discard).
+
+// SetProfSite stamps the current bytecode pc; subsequent tick charges are
+// attributed to (current method, pc).
+func (t *Task) SetProfSite(pc int) {
+	if t.tp != nil {
+		t.tp.SetPC(pc)
+	}
+}
+
+// ProfPush enters method fn in the profiler's call tree.
+func (t *Task) ProfPush(fn string) {
+	if t.tp != nil {
+		t.tp.Push(fn)
+	}
+}
+
+// ProfPopTo truncates the profiler's call stack to depth method frames.
+func (t *Task) ProfPopTo(depth int) {
+	if t.tp != nil {
+		t.tp.PopTo(depth)
+	}
+}
+
+// ProfDepth returns the profiler's current method-frame depth (0 when
+// profiling is off — engines record it before pushing frames and restore
+// it when their own stack unwinds).
+func (t *Task) ProfDepth() int {
+	if t.tp != nil {
+		return t.tp.Depth()
+	}
+	return 0
+}
+
 // RaceRawWriteField records a barrier-elided field store with the
 // sanitizer. Raw stores survive rollback (their undo entries, if any, are
 // whole-allocation ones), so the sanitizer marks them non-retractable.

@@ -37,6 +37,17 @@ func (e *Env) compile(m *bytecode.Method) []opFunc {
 			continue
 		}
 		fns[pc] = compileOne(instr, pc, cost)
+		if e.profOn {
+			// Profiling stamps the pc before the instruction body so its
+			// tick charges attribute to this site — the threaded-code twin
+			// of the stamp at the top of exec. (exec stamps again for the
+			// fallback closures; same pc, harmless.)
+			spc, inner := pc, fns[pc]
+			fns[pc] = func(in *Interp, f *frame) {
+				in.task.SetProfSite(spc)
+				inner(in, f)
+			}
+		}
 	}
 	e.compiled[m] = fns
 	return fns

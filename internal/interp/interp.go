@@ -81,6 +81,10 @@ type Env struct {
 	// their bytecode site on the task so race reports can name it.
 	raceOn bool
 
+	// profOn caches Config.Profiler != nil: every instruction then stamps
+	// its pc and every call/return mirrors into the profiler's call tree.
+	profOn bool
+
 	// Printed collects print output when Opts.Out is nil, for tests.
 	Printed []heap.Word
 }
@@ -108,6 +112,7 @@ func NewEnv(rt *core.Runtime, prog *bytecode.Program, opts Options) (*Env, error
 		regionAt: map[*bytecode.Method]map[int]int{},
 		compiled: map[*bytecode.Method][]opFunc{},
 		raceOn:   rt.Config().Race != nil,
+		profOn:   rt.Config().Profiler != nil,
 	}
 	for _, s := range prog.Statics {
 		rt.Heap().DefineStatic(s.Name, s.Volatile, heap.Word(s.Init))
@@ -211,6 +216,11 @@ func (e *Env) Call(t *core.Task, m *bytecode.Method, args []heap.Word) (heap.Wor
 		return 0, fmt.Errorf("interp: %s wants %d args, got %d", m.Name, m.Args, len(args))
 	}
 	in := &Interp{env: e, task: t}
+	if e.profOn {
+		// Nested Call (native re-entry) stacks on the caller's profile
+		// frames; popping back to profBase restores them on any exit.
+		in.profBase = t.ProfDepth()
+	}
 	in.pushFrame(m, args)
 	return in.Execute()
 }
@@ -285,6 +295,10 @@ type Interp struct {
 	ret     heap.Word
 	err     error
 	done    bool
+
+	// profBase is the task's profiler call-stack depth when this Interp
+	// started; the profiler stack mirrors frames above it.
+	profBase int
 }
 
 func (in *Interp) pushFrame(m *bytecode.Method, args []heap.Word) {
@@ -298,6 +312,17 @@ func (in *Interp) pushFrame(m *bytecode.Method, args []heap.Word) {
 	}
 	copy(f.locals, args)
 	in.frames = append(in.frames, f)
+	if in.env.profOn {
+		in.task.ProfPush(m.Name)
+	}
+}
+
+// profSync re-aligns the profiler's call stack with in.frames after any
+// frame pop — return, exception unwind, rollback discard, error cleanup.
+func (in *Interp) profSync() {
+	if in.env.profOn {
+		in.task.ProfPopTo(in.profBase + len(in.frames))
+	}
 }
 
 func (in *Interp) top() *frame { return in.frames[len(in.frames)-1] }
@@ -349,6 +374,7 @@ func (in *Interp) cleanupOnError() {
 		f.syncs = nil
 	}
 	in.frames = nil
+	in.profSync()
 }
 
 // protect runs f, converting a revocation panic into its RevokeInfo.
@@ -398,7 +424,11 @@ func (in *Interp) monitorFor(ref heap.Word) (*monitor.Monitor, bool) {
 // exec runs one instruction, updating f.pc.
 func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 	// Every instruction boundary is a yield point; delivery of a pending
-	// revocation happens inside Work via the runtime.
+	// revocation happens inside Work via the runtime. The profiler site is
+	// stamped first so the instruction's own ticks land on its pc.
+	if in.env.profOn {
+		in.task.SetProfSite(f.pc)
+	}
 	in.task.Work(in.env.Opts.CostPerInstr)
 	if in.env.raceOn {
 		in.task.SetRaceSite(f.m.Name, f.pc)
@@ -645,6 +675,7 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 			return
 		}
 		in.frames = in.frames[:len(in.frames)-1]
+		in.profSync()
 		if len(in.frames) == 0 {
 			in.ret = v
 			return
@@ -835,6 +866,7 @@ func (in *Interp) dispatchUser() {
 			in.task.EngineExit(f.syncs[i].mon)
 		}
 		in.frames = in.frames[:len(in.frames)-1]
+		in.profSync()
 		if len(in.frames) > 0 {
 			p.faultPC = in.top().pc
 			p.nextHandler = 0
@@ -910,6 +942,7 @@ func (in *Interp) dispatchRollback() {
 		// The activation was called inside the doomed section: discard it.
 		// Its monitors were already force-released by the rollback.
 		in.frames = in.frames[:len(in.frames)-1]
+		in.profSync()
 		if len(in.frames) > 0 {
 			p.faultPC = in.top().pc
 			p.nextHandler = 0

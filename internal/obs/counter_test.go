@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/sched"
+)
+
+// invObserver runs the canonical inversion scenario — a low-priority holder
+// revoked by a high-priority contender — under an observer and returns it.
+// The holder logs heap writes and briefly holds a nested monitor, so the
+// MonitorAcquired/MonitorExit events snapshot a nonzero undo-log depth.
+func invObserver(t *testing.T) *Observer {
+	t.Helper()
+	o := NewObserver()
+	rt := core.New(core.Config{
+		Mode:     core.Revocation,
+		Sched:    sched.Config{Quantum: 50},
+		Observer: o,
+	})
+	m, inner := rt.NewMonitor("M"), rt.NewMonitor("Inner")
+	buf := rt.Heap().AllocArray(8)
+	rt.Spawn("Tl", sched.LowPriority, func(tk *core.Task) {
+		tk.Synchronized(m, func() {
+			for i := 0; i < 8; i++ {
+				tk.WriteElem(buf, i, heap.Word(i))
+			}
+			tk.Synchronized(inner, func() { tk.Work(20) })
+			tk.Work(400)
+		})
+	})
+	rt.Spawn("Th", sched.HighPriority, func(tk *core.Task) {
+		tk.Work(10)
+		tk.Synchronized(m, func() { tk.Work(40) })
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestPerfettoCounterTracks checks the three "C" counter tracks over a real
+// inversion run: each present, monotone in time, never negative, and ending
+// at zero (all threads finished, all monitors released, all logs drained).
+func TestPerfettoCounterTracks(t *testing.T) {
+	doc := writeDoc(t, invObserver(t))
+
+	type sample struct {
+		ts int64
+		v  float64
+	}
+	tracks := map[string][]sample{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "C" {
+			continue
+		}
+		if e.Cat != "counter" {
+			t.Errorf("counter event with cat %q: %+v", e.Cat, e)
+		}
+		if e.Ts == nil || len(e.Args) != 1 {
+			t.Fatalf("counter without ts or single-value args: %+v", e)
+		}
+		for _, v := range e.Args {
+			f, ok := v.(float64)
+			if !ok {
+				t.Fatalf("counter value is not a number: %+v", e)
+			}
+			tracks[e.Name] = append(tracks[e.Name], sample{*e.Ts, f})
+		}
+	}
+
+	for _, name := range []string{"runnable threads", "held monitors", "undo-log entries"} {
+		ss := tracks[name]
+		if len(ss) == 0 {
+			t.Errorf("no %q counter samples (tracks: %v)", name, keysOf(tracks))
+			continue
+		}
+		var peak float64
+		for i, s := range ss {
+			if s.v < 0 {
+				t.Errorf("%q dips below zero at ts %d: %v", name, s.ts, s.v)
+			}
+			if s.v > peak {
+				peak = s.v
+			}
+			if i > 0 && s.ts < ss[i-1].ts {
+				t.Errorf("%q samples out of order: ts %d after %d", name, s.ts, ss[i-1].ts)
+			}
+			if i > 0 && s.ts == ss[i-1].ts {
+				t.Errorf("%q emits two samples at ts %d — counters must coalesce per timestamp", name, s.ts)
+			}
+		}
+		if peak == 0 {
+			t.Errorf("%q never rises above zero in an inversion run", name)
+		}
+		if last := ss[len(ss)-1]; last.v != 0 {
+			t.Errorf("%q ends at %v, want 0 after the run drains", name, last.v)
+		}
+	}
+	// Two threads run concurrently at some point.
+	var maxRunnable float64
+	for _, s := range tracks["runnable threads"] {
+		if s.v > maxRunnable {
+			maxRunnable = s.v
+		}
+	}
+	if maxRunnable != 2 {
+		t.Errorf("runnable peak = %v, want 2", maxRunnable)
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"repro/internal/simtime"
 	"repro/internal/trace"
 )
 
@@ -149,4 +151,44 @@ func ValidateJSONL(r io.Reader) (int, error) {
 		return n, err
 	}
 	return n, nil
+}
+
+// ParseJSONL validates a JSONL trace stream and decodes it back into
+// events, inverting JSONLWriter: a round-tripped stream replays into an
+// Observer exactly as the live run did. Kind names resolve through the
+// stream's declared vocabulary, which ValidateJSONL has already checked
+// against this build's.
+func ParseJSONL(r io.Reader) ([]trace.Event, error) {
+	var buf bytes.Buffer
+	if _, err := ValidateJSONL(io.TeeReader(r, &buf)); err != nil {
+		return nil, err
+	}
+	byName := make(map[string]trace.Kind)
+	for _, k := range trace.AllKinds() {
+		byName[k.String()] = k
+	}
+	var events []trace.Event
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	sc.Scan() // meta line, already validated
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, err
+		}
+		kind, ok := byName[ev.Kind]
+		if !ok {
+			// Vocabulary from a newer build: validated as declared, but this
+			// build cannot represent it.
+			return nil, fmt.Errorf("obs: kind %q not known to this build", ev.Kind)
+		}
+		events = append(events, trace.Event{
+			At: simtime.Ticks(ev.At), Kind: kind,
+			Thread: ev.Thread, Object: ev.Object, Other: ev.Other, N: ev.N, Detail: ev.Detail,
+		})
+	}
+	return events, sc.Err()
 }

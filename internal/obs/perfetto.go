@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/trace"
 )
@@ -130,6 +132,137 @@ func WritePerfetto(w io.Writer, o *Observer) error {
 		})
 	}
 
+	// Counter tracks ("C" events): runnable threads, held monitors, total
+	// undo-log depth. Derived from the event stream and the reconstructed
+	// spans, so profiler output and Perfetto traces line up in the UI.
+	counter := func(ts int64, name, key string, v int64) {
+		add(map[string]any{
+			"ph": "C", "pid": perfettoPid, "name": name, "cat": "counter",
+			"ts": ts, "args": map[string]any{key: v},
+		})
+	}
+
+	// Runnable threads: a per-thread state machine over the event stream.
+	// Blocking events park a thread; acquisition, wait-end and rollback
+	// delivery resume it. Timestamps are nondecreasing in emit order;
+	// samples coalesce to one per distinct timestamp (e.g. both threads
+	// starting at tick 0 is one jump to 2, not two samples).
+	runnableState := make(map[string]bool)
+	runnable, lastRunnable := int64(0), int64(0)
+	runnableTs := int64(-1)
+	flushRunnable := func() {
+		if runnableTs >= 0 && runnable != lastRunnable {
+			counter(runnableTs, "runnable threads", "runnable", runnable)
+			lastRunnable = runnable
+		}
+	}
+	for _, e := range o.events {
+		if e.Thread == "" {
+			continue
+		}
+		if ts := int64(e.At); ts != runnableTs {
+			flushRunnable()
+			runnableTs = ts
+		}
+		switch e.Kind {
+		case trace.ThreadStart:
+			if !runnableState[e.Thread] {
+				runnableState[e.Thread] = true
+				runnable++
+			}
+		case trace.ThreadEnd, trace.MonitorBlocked, trace.WaitStart:
+			if runnableState[e.Thread] {
+				runnableState[e.Thread] = false
+				runnable--
+			}
+		case trace.MonitorAcquired, trace.WaitEnd, trace.Rollback:
+			if _, seen := runnableState[e.Thread]; seen && !runnableState[e.Thread] {
+				runnableState[e.Thread] = true
+				runnable++
+			}
+		}
+	}
+	flushRunnable()
+
+	// Held monitors: boundary sweep over the reconstructed hold spans,
+	// counting monitors with at least one covering span. Exits sort before
+	// acquisitions at the same tick so a direct handoff is flat.
+	type edge struct {
+		ts  int64
+		mon string
+		d   int
+	}
+	var edges []edge
+	for _, s := range o.AllSpans() {
+		if s.Kind != SpanHold {
+			continue
+		}
+		edges = append(edges, edge{int64(s.Start), s.Monitor, +1})
+		if !s.Unresolved {
+			edges = append(edges, edge{int64(s.End), s.Monitor, -1})
+		}
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].ts != edges[j].ts {
+			return edges[i].ts < edges[j].ts
+		}
+		return edges[i].d < edges[j].d
+	})
+	holdCount := make(map[string]int)
+	held := int64(0)
+	for i, ed := range edges {
+		prevCover := holdCount[ed.mon] > 0
+		holdCount[ed.mon] += ed.d
+		if nowCover := holdCount[ed.mon] > 0; nowCover != prevCover {
+			if nowCover {
+				held++
+			} else {
+				held--
+			}
+		}
+		// Coalesce: emit once per distinct timestamp, after its last edge.
+		if i+1 == len(edges) || edges[i+1].ts != ed.ts {
+			counter(ed.ts, "held monitors", "held", held)
+		}
+	}
+
+	// Total undo-log depth: MonitorAcquired/MonitorExit carry the emitting
+	// thread's undo-log length in N; Rollback reports the replayed entry
+	// count in its detail ("undone=K"). Summed across threads.
+	logDepth := make(map[string]int64)
+	totalDepth, lastDepth := int64(0), int64(0)
+	depthTs := int64(-1)
+	flushDepth := func() {
+		if depthTs >= 0 && totalDepth != lastDepth {
+			counter(depthTs, "undo-log entries", "entries", totalDepth)
+			lastDepth = totalDepth
+		}
+	}
+	for _, e := range o.events {
+		if e.Thread == "" {
+			continue
+		}
+		if ts := int64(e.At); ts != depthTs {
+			flushDepth()
+			depthTs = ts
+		}
+		switch e.Kind {
+		case trace.MonitorAcquired, trace.MonitorExit:
+			totalDepth += e.N - logDepth[e.Thread]
+			logDepth[e.Thread] = e.N
+		case trace.Rollback:
+			if u := parseUndone(e.Detail); u > 0 {
+				d := logDepth[e.Thread] - u
+				if d < 0 {
+					d = 0
+				}
+				totalDepth += d - logDepth[e.Thread]
+				logDepth[e.Thread] = d
+			}
+		}
+	}
+	flushDepth()
+
 	// Flow arrows: revoke request → rollback.
 	for _, c := range o.chains {
 		if !c.RolledBack {
@@ -154,4 +287,16 @@ func WritePerfetto(w io.Writer, o *Observer) error {
 		"traceEvents":     events,
 		"displayTimeUnit": "ms",
 	})
+}
+
+// parseUndone extracts K from an "undone=K" token in a rollback event's
+// detail string; 0 when absent.
+func parseUndone(detail string) int64 {
+	for _, f := range strings.Fields(detail) {
+		var v int64
+		if _, err := fmt.Sscanf(f, "undone=%d", &v); err == nil {
+			return v
+		}
+	}
+	return 0
 }

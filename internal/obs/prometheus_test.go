@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat renders a real inversion run's metrics and pins
+// the text-format shape: summary families with quantile/sum/count series,
+// the re-execution counter, and deterministic (sorted) label order.
+func TestWritePrometheusFormat(t *testing.T) {
+	o := invObserver(t)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, o.Metrics().Summary()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE rvm_blocking_ticks summary",
+		"# TYPE rvm_hold_ticks summary",
+		"# TYPE rvm_contention_ticks summary",
+		"# TYPE rvm_wasted_ticks summary",
+		"# TYPE rvm_rollback_wasted_ticks summary",
+		"# TYPE rvm_reexecutions_total counter",
+		`rvm_blocking_ticks{thread="Th",quantile="0.5"}`,
+		`rvm_blocking_ticks_sum{thread="Th"}`,
+		`rvm_blocking_ticks_count{thread="Th"}`,
+		`rvm_hold_ticks{monitor="M",quantile="0.99"}`,
+		`rvm_wasted_ticks{thread="Tl"`,
+		`rvm_reexecutions_total{thread="Tl"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every # HELP precedes its # TYPE, and no line is emitted twice.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if seen[line] {
+			t.Errorf("duplicate line %q", line)
+		}
+		seen[line] = true
+	}
+
+	// Deterministic output.
+	var again bytes.Buffer
+	if err := WritePrometheus(&again, o.Metrics().Summary()); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("two renders of one summary differ")
+	}
+}

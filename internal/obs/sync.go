@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// SyncObserver wraps an Observer with a mutex so it can be read while the
+// VM runs. The VM's threads are serialized by the uniprocessor scheduler,
+// but a live metrics endpoint scrapes from a foreign goroutine — without
+// the lock that read would race the emitting thread. A plain (lock-free)
+// Observer remains the right choice for post-run analysis.
+type SyncObserver struct {
+	mu sync.Mutex
+	o  *Observer
+}
+
+// NewSyncObserver wraps a fresh Observer.
+func NewSyncObserver() *SyncObserver {
+	return &SyncObserver{o: NewObserver()}
+}
+
+// Emit feeds one event to the wrapped observer. Implements trace.Sink.
+func (s *SyncObserver) Emit(e trace.Event) {
+	s.mu.Lock()
+	s.o.Emit(e)
+	s.mu.Unlock()
+}
+
+// MetricsSummary digests the current histograms under the lock — the
+// mid-run snapshot the /metrics endpoint serves.
+func (s *SyncObserver) MetricsSummary() MetricsSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.o.Metrics().Summary()
+}
+
+// Dropped returns the wrapped observer's dropped-event count.
+func (s *SyncObserver) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.o.Dropped()
+}
+
+// Observer returns the wrapped observer for post-run export. Only safe
+// once the VM has stopped emitting.
+func (s *SyncObserver) Observer() *Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.o
+}

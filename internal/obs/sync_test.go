@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestParseJSONLRoundTrip(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.ThreadStart, "T1", "", "", 8),
+		ev(5, trace.MonitorAcquired, "T1", "M", "", 3),
+		ev(9, trace.RevokeRequested, "T2", "M", "T1", 0),
+		ev(12, trace.Rollback, "T1", "M", "T2", 7),
+	}
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip:\ngot  %v\nwant %v", got, events)
+	}
+}
+
+func TestParseJSONLRejectsInvalid(t *testing.T) {
+	if _, err := ParseJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("parsed garbage without error")
+	}
+}
+
+// TestSyncObserverConcurrentScrape is the live-endpoint contract: one
+// goroutine feeds the observer (the VM), others snapshot metrics mid-run
+// (the HTTP scraper). Run under -race this pins the locking.
+func TestSyncObserverConcurrentScrape(t *testing.T) {
+	so := NewSyncObserver()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			at := simtime.Ticks(i * 10)
+			so.Emit(ev(at, trace.MonitorBlocked, "T", "M", "", 0))
+			so.Emit(ev(at+4, trace.MonitorAcquired, "T", "M", "", 0))
+			so.Emit(ev(at+9, trace.MonitorExit, "T", "M", "", 0))
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := so.MetricsSummary()
+				if s.RollbackWasted.Count < 0 || so.Dropped() < 0 {
+					t.Error("impossible summary")
+					return
+				}
+				var buf bytes.Buffer
+				if err := WritePrometheus(&buf, s); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Post-run access goes through the inner observer.
+	o := so.Observer()
+	if got := o.Metrics().ContentionPerMonitor("M").Count(); got != 300 {
+		t.Errorf("contention count = %d, want 300", got)
+	}
+	if so.Dropped() != 0 {
+		t.Errorf("dropped = %d", so.Dropped())
+	}
+}

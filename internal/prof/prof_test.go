@@ -1,0 +1,229 @@
+package prof
+
+import (
+	"reflect"
+	"testing"
+)
+
+// findSample returns the value of the sample whose leaf-first stack renders
+// as the given (func, pc) frames, or 0 when absent.
+func findSample(s *Snapshot, dim Dim, stack ...Frame) int64 {
+	for _, smp := range s.Dims[dim] {
+		if reflect.DeepEqual(smp.Stack, stack) {
+			return smp.Value
+		}
+	}
+	return 0
+}
+
+func TestTickAttribution(t *testing.T) {
+	p := New()
+	tp := p.Thread("T")
+	tp.SetPC(3)
+	tp.Tick(10)
+	tp.Push("m")
+	tp.SetPC(7)
+	tp.Tick(5)
+	tp.PopTo(0)
+	tp.SetPC(4)
+	tp.Tick(2)
+
+	s := p.Snapshot()
+	if got := s.Totals[Work]; got != 17 {
+		t.Fatalf("work total = %d, want 17", got)
+	}
+	if v := findSample(s, Work, Frame{"T", 3}); v != 10 {
+		t.Errorf("root site T@3 = %d ticks, want 10", v)
+	}
+	// The callee's stack records the caller's pc at the call site.
+	if v := findSample(s, Work, Frame{"m", 7}, Frame{"T", 3}); v != 5 {
+		t.Errorf("callee site m@7 under T@3 = %d ticks, want 5", v)
+	}
+	if v := findSample(s, Work, Frame{"T", 4}); v != 2 {
+		t.Errorf("post-return site T@4 = %d ticks, want 2", v)
+	}
+	if tp.Depth() != 0 {
+		t.Errorf("depth = %d after PopTo(0)", tp.Depth())
+	}
+}
+
+func TestSectionRollbackReclassifies(t *testing.T) {
+	p := New()
+	tp := p.Thread("T")
+	tp.SetPC(1)
+	tp.Tick(100) // outside any section: permanent
+
+	tp.SectionEnter()
+	tp.SetPC(2)
+	tp.Tick(30)
+	tp.SectionEnter() // nested
+	tp.SetPC(3)
+	tp.Tick(12)
+	tp.SectionRollback(0) // roll back the outermost frame
+
+	s := p.Snapshot()
+	if s.Totals[Work] != 100 || s.Totals[Waste] != 42 {
+		t.Fatalf("work=%d waste=%d, want 100/42", s.Totals[Work], s.Totals[Waste])
+	}
+	// The retracted cells move wholesale: zeroed Work cells disappear.
+	if v := findSample(s, Work, Frame{"T", 2}); v != 0 {
+		t.Errorf("rolled-back work cell T@2 still present with %d ticks", v)
+	}
+	if v := findSample(s, Waste, Frame{"T", 2}); v != 30 {
+		t.Errorf("waste cell T@2 = %d, want 30", v)
+	}
+	if v := findSample(s, Waste, Frame{"T", 3}); v != 12 {
+		t.Errorf("waste cell T@3 = %d, want 12", v)
+	}
+	// The pre-section tick never entered the journal.
+	if v := findSample(s, Work, Frame{"T", 1}); v != 100 {
+		t.Errorf("permanent work T@1 = %d, want 100", v)
+	}
+	// Marks were truncated to idx: a re-execution re-enters from scratch.
+	if len(tp.marks) != 0 || len(tp.journal) != 0 {
+		t.Errorf("marks=%d journal=%d after rollback, want 0/0", len(tp.marks), len(tp.journal))
+	}
+}
+
+func TestPartialRollbackKeepsOuterJournal(t *testing.T) {
+	p := New()
+	tp := p.Thread("T")
+	tp.SectionEnter()
+	tp.SetPC(1)
+	tp.Tick(5)
+	tp.SectionEnter()
+	tp.SetPC(2)
+	tp.Tick(7)
+	tp.SectionRollback(1) // inner frame only
+
+	if got := p.Total(Waste); got != 7 {
+		t.Fatalf("waste = %d, want 7", got)
+	}
+	// The outer frame's journal survives: a later outer rollback retracts
+	// the remaining 5.
+	tp.SectionRollback(0)
+	if got := p.Total(Waste); got != 12 {
+		t.Fatalf("waste after outer rollback = %d, want 12", got)
+	}
+	if got := p.Total(Work); got != 0 {
+		t.Fatalf("work after full rollback = %d, want 0", got)
+	}
+}
+
+func TestSectionCommitClearsJournal(t *testing.T) {
+	p := New()
+	tp := p.Thread("T")
+	tp.SectionEnter()
+	tp.SetPC(1)
+	tp.Tick(9)
+	tp.SectionCommit() // outermost commit: ticks become permanent
+
+	tp.SectionEnter()
+	tp.SetPC(2)
+	tp.Tick(4)
+	tp.SectionRollback(0)
+
+	s := p.Snapshot()
+	if s.Totals[Work] != 9 || s.Totals[Waste] != 4 {
+		t.Fatalf("work=%d waste=%d, want 9/4 — committed ticks must not be retractable",
+			s.Totals[Work], s.Totals[Waste])
+	}
+}
+
+func TestWaitTruncateCommitsInPlace(t *testing.T) {
+	p := New()
+	tp := p.Thread("T")
+	tp.SectionEnter()
+	tp.SetPC(1)
+	tp.Tick(50)
+	tp.WaitTruncate() // Object.wait released the monitor mid-section
+	tp.SetPC(2)
+	tp.Tick(8)
+	tp.SectionRollback(0)
+
+	s := p.Snapshot()
+	// Only the post-wait ticks are retractable.
+	if s.Totals[Work] != 50 || s.Totals[Waste] != 8 {
+		t.Fatalf("work=%d waste=%d, want 50/8", s.Totals[Work], s.Totals[Waste])
+	}
+}
+
+func TestBlockTickAuxFrameAndNoJournal(t *testing.T) {
+	p := New()
+	tp := p.Thread("T")
+	tp.SectionEnter()
+	tp.SetPC(6)
+	tp.BlockTick(11, "M")
+	tp.SectionRollback(0)
+
+	s := p.Snapshot()
+	if s.Totals[Block] != 11 || s.Totals[Waste] != 0 {
+		t.Fatalf("block=%d waste=%d, want 11/0 — blocked time is not CPU and never rolls back",
+			s.Totals[Block], s.Totals[Waste])
+	}
+	// The contended monitor is the pseudo-leaf; the waiting site follows.
+	if v := findSample(s, Block, Frame{"monitor:M", 0}, Frame{"T", 6}); v != 11 {
+		t.Errorf("block sample = %d, want 11 under monitor:M leaf; got dims %+v", v, s.Dims[Block])
+	}
+}
+
+func TestSchedTickSyntheticRoot(t *testing.T) {
+	p := New()
+	p.SchedTick("context-switch", 4)
+	p.SchedTick("idle", 6)
+	p.SchedTick("idle", 0) // no-op
+
+	s := p.Snapshot()
+	if s.Totals[Sched] != 10 {
+		t.Fatalf("sched total = %d, want 10", s.Totals[Sched])
+	}
+	if v := findSample(s, Sched, Frame{"<idle>", 0}); v != 6 {
+		t.Errorf("<idle> = %d, want 6", v)
+	}
+	if v := findSample(s, Sched, Frame{"<context-switch>", 0}); v != 4 {
+		t.Errorf("<context-switch> = %d, want 4", v)
+	}
+}
+
+func TestTopRanksLeafSites(t *testing.T) {
+	p := New()
+	a := p.Thread("A")
+	a.SetPC(1)
+	a.Tick(5)
+	a.Push("m")
+	a.SetPC(2)
+	a.Tick(20) // same leaf (m, 2) from a different path
+	b := p.Thread("B")
+	b.Push("m")
+	b.SetPC(2)
+	b.Tick(30)
+
+	top := p.Snapshot().Top(Work, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %+v, want 2 sites", top)
+	}
+	if top[0].Func != "m" || top[0].PC != 2 || top[0].Ticks != 50 {
+		t.Errorf("top[0] = %+v, want m@2 with 50 ticks aggregated across paths", top[0])
+	}
+	if top[1].Func != "A" || top[1].Ticks != 5 {
+		t.Errorf("top[1] = %+v, want A@1 with 5", top[1])
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Snapshot {
+		p := New()
+		for _, name := range []string{"T1", "T2", "T3"} {
+			tp := p.Thread(name)
+			for pc := 1; pc <= 5; pc++ {
+				tp.SetPC(pc)
+				tp.Tick(3)
+			}
+		}
+		p.SchedTick("idle", 2)
+		return p.Snapshot()
+	}
+	if a, b := build(), build(); !reflect.DeepEqual(a, b) {
+		t.Errorf("snapshots of identical runs differ:\n%+v\n%+v", a, b)
+	}
+}

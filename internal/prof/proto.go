@@ -1,0 +1,234 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+	"sort"
+)
+
+// pprof profile.proto export, hand-encoded. The module has no dependencies,
+// so instead of importing github.com/google/pprof we emit the protobuf wire
+// format directly; the schema is small and stable (profile.proto from the
+// pprof repo). Output is gzip-compressed, as `go tool pprof` expects.
+//
+// Message layout used (field numbers from profile.proto):
+//
+//	Profile:   sample_type=1  sample=2  mapping=3  location=4  function=5
+//	           string_table=6 period_type=11 period=12
+//	ValueType: type=1 unit=2           (string-table indices)
+//	Sample:    location_id=1 value=2   (both packed repeated)
+//	Location:  id=1 line=4
+//	Line:      function_id=1 line=2
+//	Function:  id=1 name=2 system_name=3 filename=4
+//	Mapping:   id=1
+//
+// time_nanos is deliberately omitted so profiles are byte-for-byte
+// deterministic across runs.
+
+// protoBuf is a minimal protobuf writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag writes a field key. wire: 0 = varint, 2 = length-delimited.
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) packedInt64s(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(uint64(v))
+	}
+	p.bytesField(field, inner.b)
+}
+
+// WritePprof encodes one dimension of the snapshot as a gzipped pprof
+// protobuf profile with a single "ticks"-valued sample type. Stacks are
+// leaf-first, matching pprof's location order. Each distinct (function, pc)
+// pair becomes one Location so per-pc attribution survives into the pprof
+// UI ("lines" granularity); PCs are rendered as line numbers.
+func (s *Snapshot) WritePprof(w io.Writer, dim Dim) error {
+	strings := []string{""} // string table; index 0 must be ""
+	strIdx := map[string]int64{"": 0}
+	str := func(v string) int64 {
+		if i, ok := strIdx[v]; ok {
+			return i
+		}
+		i := int64(len(strings))
+		strings = append(strings, v)
+		strIdx[v] = i
+		return i
+	}
+
+	type funcKey struct{ name string }
+	funcIDs := map[funcKey]uint64{}
+	var funcs []funcKey
+	type locKey struct {
+		fn uint64
+		pc int
+	}
+	locIDs := map[locKey]uint64{}
+	var locs []locKey
+
+	functionID := func(name string) uint64 {
+		k := funcKey{name}
+		if id, ok := funcIDs[k]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcIDs[k] = id
+		funcs = append(funcs, k)
+		return id
+	}
+	locationID := func(f Frame) uint64 {
+		k := locKey{fn: functionID(f.Func), pc: f.PC}
+		if id, ok := locIDs[k]; ok {
+			return id
+		}
+		id := uint64(len(locs) + 1)
+		locIDs[k] = id
+		locs = append(locs, k)
+		return id
+	}
+
+	var out protoBuf
+
+	// sample_type: one ValueType {type: <dim>, unit: "ticks"}.
+	var vt protoBuf
+	vt.int64Field(1, str(dim.String()))
+	vt.int64Field(2, str("ticks"))
+	out.bytesField(1, vt.b)
+
+	for _, smp := range s.Dims[dim] {
+		ids := make([]int64, len(smp.Stack))
+		for i, f := range smp.Stack {
+			ids[i] = int64(locationID(f))
+		}
+		var sm protoBuf
+		sm.packedInt64s(1, ids)
+		sm.packedInt64s(2, []int64{smp.Value})
+		out.bytesField(2, sm.b)
+	}
+
+	// One trivial mapping (id 1); pprof tolerates locations without a
+	// mapping but some front ends render better with one present.
+	var mp protoBuf
+	mp.int64Field(1, 1)
+	out.bytesField(3, mp.b)
+
+	fileIdx := str("rvm")
+	for i, lk := range locs {
+		var loc protoBuf
+		loc.int64Field(1, int64(i)+1)
+		var line protoBuf
+		line.int64Field(1, int64(lk.fn))
+		line.int64Field(2, int64(lk.pc))
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b)
+	}
+	for i, fk := range funcs {
+		var fn protoBuf
+		fn.int64Field(1, int64(i)+1)
+		nameIdx := str(fk.name)
+		fn.int64Field(2, nameIdx)
+		fn.int64Field(3, nameIdx)
+		fn.int64Field(4, fileIdx)
+		out.bytesField(5, fn.b)
+	}
+	for _, sv := range strings {
+		out.bytesField(6, []byte(sv))
+	}
+
+	// period_type {ticks, ticks}, period 1: every tick is sampled.
+	var pt protoBuf
+	pt.int64Field(1, str("ticks"))
+	pt.int64Field(2, str("ticks"))
+	out.bytesField(11, pt.b)
+	out.int64Field(12, 1)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// WriteFolded renders one dimension in Brendan Gregg's folded-stack
+// format — `root;caller;leaf count` per line, root-first — ready for
+// flamegraph.pl or speedscope. Frames with a pc render as `func@pc`.
+// Lines are aggregated and sorted for deterministic output.
+func (s *Snapshot) WriteFolded(w io.Writer, dim Dim) error {
+	agg := make(map[string]int64)
+	for _, smp := range s.Dims[dim] {
+		line := ""
+		for i := len(smp.Stack) - 1; i >= 0; i-- {
+			f := smp.Stack[i]
+			if line != "" {
+				line += ";"
+			}
+			line += f.Func
+			if f.PC != 0 {
+				line += "@" + itoa(f.PC)
+			}
+		}
+		agg[line] += smp.Value
+	}
+	lines := make([]string, 0, len(agg))
+	for l := range agg {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+" "+itoa64(agg[l])+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func itoa(v int) string { return itoa64(int64(v)) }
+
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -259,6 +259,14 @@ type Scheduler struct {
 	// before a thread is dispatched. The runtime uses it for the periodic
 	// inversion detector.
 	PreDispatch func(next *Thread)
+
+	// OnSwitchCost and OnIdle, when non-nil, observe the two clock
+	// advances the scheduler itself makes: the per-dispatch SwitchCost
+	// charge, and the discrete-event jump to the next timer when no
+	// thread is runnable. The profiler uses them to account scheduler
+	// overhead ticks that no thread charged.
+	OnSwitchCost func(d simtime.Ticks)
+	OnIdle       func(d simtime.Ticks)
 }
 
 // New creates a scheduler over a fresh clock.
@@ -419,7 +427,11 @@ func (s *Scheduler) Run() error {
 		t := s.pickNext()
 		if t == nil {
 			// Nobody runnable: jump to the next timer if one exists.
+			before := s.clock.Now()
 			if s.clock.AdvanceToNext() {
+				if s.OnIdle != nil {
+					s.OnIdle(s.clock.Now() - before)
+				}
 				continue
 			}
 			return fmt.Errorf("%w: %s", ErrDeadlock, s.describeBlocked())
@@ -447,6 +459,9 @@ func (s *Scheduler) dispatch(t *Thread) {
 	}
 	if s.cfg.SwitchCost > 0 {
 		s.clock.Advance(s.cfg.SwitchCost)
+		if s.OnSwitchCost != nil {
+			s.OnSwitchCost(s.cfg.SwitchCost)
+		}
 	}
 	if s.clock.Now() >= s.nextPreempt {
 		s.nextPreempt = s.clock.Now() + s.cfg.Quantum
