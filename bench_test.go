@@ -189,6 +189,41 @@ func BenchmarkRollback(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorEnterUncontended measures one uncontended monitorenter
+// per lock-word variant: thin (single-word fast path), inflated (full
+// prioritized-queue monitor, Config.DisableThinLocks), and nonrevocable
+// (the core engine's fused entry for statically proven sections). One
+// iteration is an enter+exit pair; the ns/op metric is per operation.
+func BenchmarkMonitorEnterUncontended(b *testing.B) {
+	for _, v := range bench.MonitorVariants {
+		b.Run(v, bench.MonitorEnterUncontendedBench(v))
+	}
+}
+
+// BenchmarkMonitorExitUncontended is the exit half of the pair above.
+func BenchmarkMonitorExitUncontended(b *testing.B) {
+	for _, v := range bench.MonitorVariants {
+		b.Run(v, bench.MonitorExitUncontendedBench(v))
+	}
+}
+
+// BenchmarkElidedWriteBarrier measures a store whose barrier the static
+// analysis removed (the RAW opcode runtime sequence).
+func BenchmarkElidedWriteBarrier(b *testing.B) {
+	bench.ElidedWriteBarrierBench(b)
+}
+
+// BenchmarkTierDispatch compares threaded-closure dispatch against fused
+// superinstruction dispatch on workloads whose hot methods cross the
+// tier-3 promotion threshold.
+func BenchmarkTierDispatch(b *testing.B) {
+	for _, p := range bench.TierPrograms {
+		for _, tier := range []interp.Tier{interp.TierThreaded, interp.TierOpt} {
+			b.Run(p.Name+"/"+tier.String(), bench.TierDispatchBench(p, tier))
+		}
+	}
+}
+
 // BenchmarkMonitorEnterExit measures an uncontended synchronized section.
 func BenchmarkMonitorEnterExit(b *testing.B) {
 	rt := core.New(core.Config{Mode: core.Revocation, NoCosts: true})
@@ -393,16 +428,17 @@ method main locals 1 {
     return
 }
 `
-	for _, threaded := range []bool{false, true} {
-		name := "interpreter"
-		if threaded {
-			name = "threaded"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		tier interp.Tier
+	}{{"interpreter", interp.TierExec}, {"threaded", interp.TierThreaded}, {"opt", interp.TierOpt}} {
+		b.Run(tc.name, func(b *testing.B) {
 			prog := bytecode.MustAssemble(src)
 			for i := 0; i < b.N; i++ {
 				rt := core.New(core.Config{Mode: core.Revocation, NoCosts: true})
-				if _, err := interp.Run(rt, prog.Clone(), interp.Options{Threaded: threaded}); err != nil {
+				// OptCallThreshold 1: main runs once, so the opt tier only
+				// exercises fusion if promotion happens at first activation.
+				if _, err := interp.Run(rt, prog.Clone(), interp.Options{Tier: tc.tier, OptCallThreshold: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}

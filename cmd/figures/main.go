@@ -9,6 +9,7 @@
 //
 //	figures [-figure N|all] [-scale small|medium|paper] [-csv dir] [-summary] [-v]
 //	figures -json results/BENCH_2026-08-05.json [-label NAME]
+//	figures -gate results [-gate-json out.json] [-gate-threshold PCT]
 //
 // Examples:
 //
@@ -44,8 +45,16 @@ func main() {
 		cell    = flag.String("cell", "", "run one cell instead: \"HIGH+LOW@WRITES%\", e.g. \"2+8@40\" (uses -figure for the variant)")
 		jsonOut = flag.String("json", "", "append wall-clock benchmark results to this JSON file instead of rendering figures")
 		label   = flag.String("label", "current", "label recorded with -json results")
+		gateDir = flag.String("gate", "", "bench-regression gate: compare key ns/op against the newest BENCH_*.json in this directory, exit 1 on regression")
+		gateOut = flag.String("gate-json", "", "with -gate, also write the fresh gate measurements to this JSON file (the CI artifact)")
+		gatePct = flag.Float64("gate-threshold", 20, "with -gate, regression threshold in percent")
 	)
 	flag.Parse()
+
+	if *gateDir != "" {
+		runGate(*gateDir, *gateOut, *label, *gatePct)
+		return
+	}
 
 	if *jsonOut != "" {
 		runJSONReport(*jsonOut, *label)
@@ -190,6 +199,52 @@ func runJSONReport(path, label string) {
 	}
 	fmt.Fprintf(os.Stderr, "appended %q (%d benchmarks, %d profiled cells) to %s\n",
 		label, len(rep.Benchmarks), len(rep.Profiler), path)
+}
+
+// runGate re-measures the key micro-benchmarks (best of three) and fails
+// the process when any ns/op regresses past the threshold relative to the
+// newest committed trajectory entry in dir. With outPath, the fresh
+// measurements are appended there as a new trajectory entry so CI can
+// upload them as an artifact.
+func runGate(dir, outPath, label string, thresholdPct float64) {
+	if outPath != "" {
+		if d := filepath.Dir(outPath); d != "." {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if _, err := bench.LoadReports(outPath); err != nil {
+			fatal(err)
+		}
+	}
+	progress := func(e bench.GateEntry) {
+		switch {
+		case e.Missing:
+			fmt.Fprintf(os.Stderr, "  %-36s %12.1f ns/op   (no baseline)\n", e.Name, e.Current)
+		case e.Regressed:
+			fmt.Fprintf(os.Stderr, "  %-36s %12.1f ns/op  %+7.1f%% vs %.1f  REGRESSED\n",
+				e.Name, e.Current, e.DeltaPct, e.Baseline)
+		default:
+			fmt.Fprintf(os.Stderr, "  %-36s %12.1f ns/op  %+7.1f%% vs %.1f  ok\n",
+				e.Name, e.Current, e.DeltaPct, e.Baseline)
+		}
+	}
+	g, err := bench.RunGate(dir, label, time.Now().Format("2006-01-02"), thresholdPct/100, progress)
+	if err != nil {
+		fatal(err)
+	}
+	if outPath != "" {
+		if err := bench.WriteReport(outPath, g.Report); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote gate measurements to %s\n", outPath)
+	}
+	if g.Failed() {
+		fatal(fmt.Errorf("bench gate FAILED: key ns/op regressed >%.0f%% vs %s (label %q, %s)",
+			thresholdPct, g.BaselinePath, g.BaselineLabel, g.BaselineDate))
+	}
+	fmt.Fprintf(os.Stderr, "bench gate passed: %d benchmarks within %.0f%% of %s (label %q, %s)\n",
+		len(g.Entries), thresholdPct, g.BaselinePath, g.BaselineLabel, g.BaselineDate)
 }
 
 func fatal(err error) {

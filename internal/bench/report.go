@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+
+	"repro/internal/interp"
 )
 
 // BenchResult is one benchmark's wall-clock outcome. Stats carries
@@ -50,10 +52,17 @@ func measure(name string, body func(b *testing.B)) BenchResult {
 		b.ReportAllocs()
 		body(b)
 	})
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	// A body that reports its own "ns/op" metric (e.g. the monitor pair
+	// benchmarks, which time two operations per iteration) overrides the
+	// per-iteration default.
+	if v, ok := r.Extra["ns/op"]; ok {
+		nsPerOp = v
+	}
 	return BenchResult{
 		Name:        name,
 		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		NsPerOp:     nsPerOp,
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
@@ -81,6 +90,21 @@ func RunReport(label, date string, progress func(BenchResult), latProgress func(
 	add(measure("WriteBarrier", WriteBarrierBench))
 	add(measure("ReadBarrier", ReadBarrierBench))
 	add(measure("Rollback", RollbackBench))
+	add(measure("ElidedWriteBarrier", ElidedWriteBarrierBench))
+
+	// Compact lock word: uncontended enter/exit per variant.
+	for _, v := range MonitorVariants {
+		add(measure("MonitorEnterUncontended/"+v, MonitorEnterUncontendedBench(v)))
+		add(measure("MonitorExitUncontended/"+v, MonitorExitUncontendedBench(v)))
+	}
+
+	// Execution-tier dispatch: threaded closures vs fused
+	// superinstructions on re-invoked hot methods.
+	for _, p := range TierPrograms {
+		for _, tier := range []interp.Tier{interp.TierThreaded, interp.TierOpt} {
+			add(measure("TierDispatch/"+p.Name+"/"+tier.String(), TierDispatchBench(p, tier)))
+		}
+	}
 
 	// Barriers-vs-elided pair: identical program, with and without the
 	// static analysis; the stats record the elided-store counts.

@@ -172,6 +172,12 @@ type Config struct {
 	// random order in which threads arrive at a monitor", §4).
 	FIFOMonitorQueues bool
 
+	// DisableThinLocks pins every monitor to the inflated
+	// prioritized-queue representation; the compact lock word's thin
+	// fast path never engages. Used by the lock-word ablation and the
+	// inflated-variant micro-benchmarks.
+	DisableThinLocks bool
+
 	// Tracer receives runtime events; nil discards them.
 	Tracer trace.Sink
 }
@@ -226,6 +232,11 @@ type Stats struct {
 	StaticPreMarks     int64 // monitors pre-marked non-revocable by static analysis
 	AllocsLogged       int64 // whole-allocation undo entries (static elision support)
 	RawStores          int64 // statically elided stores executed barrier-free
+
+	// Compact lock word (internal/monitor).
+	ThinAcquisitions int64 // ownership transfers on the thin fast path
+	Inflations       int64 // thin → full-monitor transitions
+	Deflations       int64 // uncontended releases that collapsed back to thin
 
 	// Dynamic race sanitizer (Config.Race != nil).
 	RacesDetected         int64 // confirmed reports emitted
@@ -312,6 +323,9 @@ func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
 func (rt *Runtime) NewMonitor(name string) *monitor.Monitor {
 	m := monitor.New(rt.sch, name)
 	m.FIFOQueue = rt.cfg.FIFOMonitorQueues
+	if rt.cfg.DisableThinLocks {
+		m.DisableThin()
+	}
 	rt.monitors = append(rt.monitors, m)
 	return m
 }
@@ -369,6 +383,11 @@ func (rt *Runtime) Stats() Stats {
 		s.EntriesUndone += t.log.Undone()
 		s.StoresDeduped += t.log.Deduped()
 		s.AllocsLogged += t.log.AllocsLogged()
+	}
+	for _, m := range rt.monitors {
+		s.ThinAcquisitions += m.ThinAcquisitions()
+		s.Inflations += m.Inflations()
+		s.Deflations += m.Deflations()
 	}
 	if rt.cfg.Race != nil {
 		s.RacesDetected, s.RaceReportsRetracted, s.RaceAccessesRetracted = rt.cfg.Race.Stats()
@@ -492,6 +511,15 @@ func (t *Task) step(cost simtime.Ticks) {
 		t.deliverRevocation()
 	}
 }
+
+// Step is Work specialized for a single sub-quantum charge. The fused
+// execution tier calls it once per original instruction with the
+// compile-time-constant per-instruction cost, skipping Work's
+// quantum-clamping loop. The caller must guarantee cost <= the scheduler
+// quantum (checked once at compile time); under that precondition the
+// behavior is identical to Work(cost) — one tick charge, one yield point,
+// revocation delivery.
+func (t *Task) Step(cost simtime.Ticks) { t.step(cost) }
 
 // Work charges n ticks of thread-local computation (no logging, no
 // barriers), passing yield points along the way.

@@ -59,6 +59,17 @@ func (t *Task) EngineExit(m *monitor.Monitor) {
 	t.commitTop(m)
 }
 
+// EngineEnterNonRevocable is EngineEnter fused with the static pre-mark
+// for sections analysis proved non-revocable. The compiling tier resolves
+// the section fact once at compile time and calls this instead of doing a
+// per-execution fact lookup followed by PreMarkNonRevocable; the
+// externally observable behavior (blocking, stats, trace events) is
+// identical by construction.
+func (t *Task) EngineEnterNonRevocable(m *monitor.Monitor, reason string) {
+	t.enter(m)
+	t.PreMarkNonRevocable(reason)
+}
+
 // EngineFrameDepth returns the current section nesting depth; the frame a
 // subsequent EngineEnter creates will have index EngineFrameDepth().
 func (t *Task) EngineFrameDepth() int { return len(t.frames) }

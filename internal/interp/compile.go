@@ -36,18 +36,23 @@ func (e *Env) compile(m *bytecode.Method) []opFunc {
 			fns[pc] = func(in *Interp, f *frame) { in.exec(f, ins) }
 			continue
 		}
-		fns[pc] = compileOne(instr, pc, cost)
-		if e.profOn {
+		fn, dedicated := compileOne(instr, pc, cost)
+		if e.profOn && dedicated {
 			// Profiling stamps the pc before the instruction body so its
 			// tick charges attribute to this site — the threaded-code twin
-			// of the stamp at the top of exec. (exec stamps again for the
-			// fallback closures; same pc, harmless.)
-			spc, inner := pc, fns[pc]
-			fns[pc] = func(in *Interp, f *frame) {
+			// of the stamp at the top of exec. Fallback closures are not
+			// wrapped: exec stamps the same pc itself, and wrapping them
+			// would stamp it twice per instruction.
+			spc, inner := pc, fn
+			fn = func(in *Interp, f *frame) {
 				in.task.SetProfSite(spc)
 				inner(in, f)
 			}
 		}
+		fns[pc] = fn
+	}
+	if e.profOn {
+		e.RT.Config().Profiler.SetFuncTier(m.Name, "threaded")
 	}
 	e.compiled[m] = fns
 	return fns
@@ -56,36 +61,37 @@ func (e *Env) compile(m *bytecode.Method) []opFunc {
 // compileOne builds the closure for one instruction. Hot, simple opcodes
 // get dedicated closures; everything with non-trivial control flow or
 // runtime interaction reuses the interpreter's exec, which is already a
-// single call away.
-func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
+// single call away. dedicated is false for those exec fallbacks, whose
+// profiler stamping exec already performs.
+func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) (fn opFunc, dedicated bool) {
 	next := pc + 1
 	switch instr.Op {
 	case bytecode.NOP:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.pc = next
-		}
+		}, true
 	case bytecode.CONST:
 		v := heap.Word(instr.V)
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.push(v)
 			f.pc = next
-		}
+		}, true
 	case bytecode.LOAD:
 		idx := instr.A
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.push(f.locals[idx])
 			f.pc = next
-		}
+		}, true
 	case bytecode.STORE:
 		idx := instr.A
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.locals[idx] = f.pop()
 			f.pc = next
-		}
+		}, true
 	case bytecode.DUP:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
@@ -93,13 +99,13 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 			f.push(v)
 			f.push(v)
 			f.pc = next
-		}
+		}, true
 	case bytecode.POP:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.pop()
 			f.pc = next
-		}
+		}, true
 	case bytecode.SWAP:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
@@ -107,34 +113,34 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 			f.push(a)
 			f.push(b)
 			f.pc = next
-		}
+		}, true
 	case bytecode.ADD:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			b, a := f.pop(), f.pop()
 			f.push(a + b)
 			f.pc = next
-		}
+		}, true
 	case bytecode.SUB:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			b, a := f.pop(), f.pop()
 			f.push(a - b)
 			f.pc = next
-		}
+		}, true
 	case bytecode.MUL:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			b, a := f.pop(), f.pop()
 			f.push(a * b)
 			f.pc = next
-		}
+		}, true
 	case bytecode.NEG:
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.push(-f.pop())
 			f.pc = next
-		}
+		}, true
 	case bytecode.CMPEQ, bytecode.CMPNE, bytecode.CMPLT, bytecode.CMPLE, bytecode.CMPGT, bytecode.CMPGE:
 		op := instr.Op
 		return func(in *Interp, f *frame) {
@@ -143,13 +149,13 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 			v, _ := arith(op, a, b)
 			f.push(v)
 			f.pc = next
-		}
+		}, true
 	case bytecode.GOTO:
 		target := instr.A
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.pc = target
-		}
+		}, true
 	case bytecode.IFNZ:
 		target := instr.A
 		return func(in *Interp, f *frame) {
@@ -159,7 +165,7 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 			} else {
 				f.pc = next
 			}
-		}
+		}, true
 	case bytecode.IFZ:
 		target := instr.A
 		return func(in *Interp, f *frame) {
@@ -169,21 +175,21 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 			} else {
 				f.pc = next
 			}
-		}
+		}, true
 	case bytecode.GETSTATIC:
 		idx := instr.A
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			f.push(in.task.ReadStatic(idx))
 			f.pc = next
-		}
+		}, true
 	case bytecode.PUTSTATIC:
 		idx := instr.A
 		return func(in *Interp, f *frame) {
 			in.task.Work(cost)
 			in.task.WriteStatic(idx, f.pop())
 			f.pc = next
-		}
+		}, true
 	case bytecode.SAVESTACK:
 		base, d := instr.A, int(instr.V)
 		return func(in *Interp, f *frame) {
@@ -192,7 +198,7 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 				f.locals[base+i] = f.stack[i]
 			}
 			f.pc = next
-		}
+		}, true
 	case bytecode.RESTORESTACK:
 		base, d := instr.A, int(instr.V)
 		return func(in *Interp, f *frame) {
@@ -201,7 +207,7 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 				f.push(f.locals[base+i])
 			}
 			f.pc = next
-		}
+		}, true
 	default:
 		// Everything else (heap object/array access with null checks,
 		// monitors, invoke/return, exceptions, natives, waits) keeps the
@@ -209,7 +215,7 @@ func compileOne(instr bytecode.Instr, pc int, cost simtime.Ticks) opFunc {
 		ins := instr
 		return func(in *Interp, f *frame) {
 			in.exec(f, ins)
-		}
+		}, false
 	}
 }
 

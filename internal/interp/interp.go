@@ -32,6 +32,51 @@ import (
 // machinery; calling one makes the enclosing monitors non-revocable.
 type NativeFunc func(e *Env, t *core.Task, args []heap.Word) heap.Word
 
+// Tier selects the execution tier. All tiers are semantically identical —
+// same virtual clock, same Stats, same heap — and the property tests pin
+// that equivalence over every example program.
+type Tier int
+
+const (
+	// TierExec is the switch interpreter (the paper's baseline compiler
+	// analog).
+	TierExec Tier = iota
+	// TierThreaded pre-decodes methods into threaded code: one closure
+	// per instruction with operands captured.
+	TierThreaded
+	// TierOpt starts methods on threaded code and, once a deterministic
+	// hotness threshold is crossed, recompiles them into fused
+	// superinstruction streams specialized against the static facts
+	// (compile-time-resolved call/field/class references, statically
+	// non-revocable monitorenter, dead SAVESTACK elision). See opt.go.
+	TierOpt
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierExec:
+		return "exec"
+	case TierThreaded:
+		return "threaded"
+	case TierOpt:
+		return "opt"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// ParseTier parses a -tier flag value.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "exec":
+		return TierExec, nil
+	case "threaded":
+		return TierThreaded, nil
+	case "opt":
+		return TierOpt, nil
+	}
+	return TierExec, fmt.Errorf("interp: unknown tier %q (want exec, threaded, or opt)", s)
+}
+
 // Options configures an Env.
 type Options struct {
 	// CostPerInstr is the tick charge per executed instruction (default
@@ -45,10 +90,22 @@ type Options struct {
 	// When false, sections are marked irrevocable at entry to keep
 	// un-instrumented code safe on a Revocation-mode runtime.
 	Rewritten bool
-	// Threaded selects the threaded-code execution tier (the "optimizing
-	// compiler" analog): methods are pre-decoded into closure sequences.
-	// Semantics are identical to the switch interpreter.
+	// Tier selects the execution tier (default TierExec).
+	Tier Tier
+	// Threaded is the deprecated alias for Tier: TierThreaded. It is
+	// honored when Tier is left at its zero value and mirrored back
+	// (Threaded = Tier != TierExec) after normalization.
 	Threaded bool
+	// OptCallThreshold is the TierOpt invocation-count hotness threshold:
+	// a method recompiles to fused code at its Nth activation (default 2).
+	// Deterministic by construction — the count does not depend on timing.
+	OptCallThreshold int
+	// OptHotTicks is the TierOpt profile-feed hotness threshold: with a
+	// profiler attached, a method whose attributed work ticks
+	// (prof.Profiler.FuncWork) reach this value recompiles at its next
+	// activation even below OptCallThreshold (default 1000). Virtual-time
+	// attribution is deterministic, so tier decisions stay reproducible.
+	OptHotTicks int64
 	// Facts supplies whole-program static analysis results (from
 	// analysis.Analyze over this exact program). When set, monitorenter
 	// sites of statically non-revocable sections are pre-marked so they
@@ -74,8 +131,17 @@ type Env struct {
 	// regionAt maps (method, monitorenter pc) to the static region index.
 	regionAt map[*bytecode.Method]map[int]int
 
-	// compiled caches threaded code per method (Options.Threaded).
+	// compiled caches threaded code per method (TierThreaded, and TierOpt
+	// methods still below the hotness threshold).
 	compiled map[*bytecode.Method][]opFunc
+
+	// optCompiled caches fused superinstruction code per hot method
+	// (TierOpt only).
+	optCompiled map[*bytecode.Method][]opFunc
+
+	// calls counts method activations — TierOpt's invocation-count
+	// hotness feed and the per-tier method accounting for TierCounts.
+	calls map[*bytecode.Method]int
 
 	// raceOn caches Config.Race != nil: heap-access instructions then stamp
 	// their bytecode site on the task so race reports can name it.
@@ -95,6 +161,16 @@ func NewEnv(rt *core.Runtime, prog *bytecode.Program, opts Options) (*Env, error
 	if opts.CostPerInstr == 0 {
 		opts.CostPerInstr = 1
 	}
+	if opts.Tier == TierExec && opts.Threaded {
+		opts.Tier = TierThreaded // deprecated alias
+	}
+	opts.Threaded = opts.Tier != TierExec
+	if opts.OptCallThreshold == 0 {
+		opts.OptCallThreshold = 2
+	}
+	if opts.OptHotTicks == 0 {
+		opts.OptHotTicks = 1000
+	}
 	if rt.Heap().NumStatics() != 0 {
 		return nil, fmt.Errorf("interp: runtime heap already has statics; use a fresh runtime")
 	}
@@ -102,17 +178,19 @@ func NewEnv(rt *core.Runtime, prog *bytecode.Program, opts Options) (*Env, error
 		return nil, err
 	}
 	e := &Env{
-		RT:       rt,
-		Prog:     prog,
-		Opts:     opts,
-		natives:  map[string]NativeFunc{},
-		objects:  map[heap.Word]*heap.Object{},
-		arrays:   map[heap.Word]*heap.Array{},
-		classOf:  map[heap.Word]*bytecode.Class{},
-		regionAt: map[*bytecode.Method]map[int]int{},
-		compiled: map[*bytecode.Method][]opFunc{},
-		raceOn:   rt.Config().Race != nil,
-		profOn:   rt.Config().Profiler != nil,
+		RT:          rt,
+		Prog:        prog,
+		Opts:        opts,
+		natives:     map[string]NativeFunc{},
+		objects:     map[heap.Word]*heap.Object{},
+		arrays:      map[heap.Word]*heap.Array{},
+		classOf:     map[heap.Word]*bytecode.Class{},
+		regionAt:    map[*bytecode.Method]map[int]int{},
+		compiled:    map[*bytecode.Method][]opFunc{},
+		optCompiled: map[*bytecode.Method][]opFunc{},
+		calls:       map[*bytecode.Method]int{},
+		raceOn:      rt.Config().Race != nil,
+		profOn:      rt.Config().Profiler != nil,
 	}
 	for _, s := range prog.Statics {
 		rt.Heap().DefineStatic(s.Name, s.Volatile, heap.Word(s.Init))
@@ -174,6 +252,29 @@ func (e *Env) Object(ref heap.Word) (*heap.Object, bool) {
 func (e *Env) Array(ref heap.Word) (*heap.Array, bool) {
 	a, ok := e.arrays[ref]
 	return a, ok
+}
+
+// TierCounts reports how many distinct invoked methods currently sit at
+// each tier: opt methods run fused code, threaded methods run pre-decoded
+// closures (including TierOpt methods still below the hotness threshold),
+// and exec methods run on the switch interpreter.
+func (e *Env) TierCounts() (exec, threaded, opt int) {
+	opt = len(e.optCompiled)
+	for m := range e.compiled {
+		if _, ok := e.optCompiled[m]; !ok {
+			threaded++
+		}
+	}
+	for m := range e.calls {
+		if _, ok := e.compiled[m]; ok {
+			continue
+		}
+		if _, ok := e.optCompiled[m]; ok {
+			continue
+		}
+		exec++
+	}
+	return exec, threaded, opt
 }
 
 // regionIndex returns the static sync-region index whose MONITORENTER sits
@@ -258,7 +359,7 @@ type frame struct {
 	locals []heap.Word
 	stack  []heap.Word
 	syncs  []activeSync
-	// fns is the method's threaded code (Options.Threaded only).
+	// fns is the method's compiled code (TierThreaded and TierOpt).
 	fns []opFunc
 }
 
@@ -299,6 +400,11 @@ type Interp struct {
 	// profBase is the task's profiler call-stack depth when this Interp
 	// started; the profiler stack mirrors frames above it.
 	profBase int
+
+	// argBuf is scratch for the fused tier's compile-time-resolved INVOKE:
+	// arguments are popped into it and immediately copied out by pushFrame,
+	// with no yield point in between, so one buffer serves every call.
+	argBuf []heap.Word
 }
 
 func (in *Interp) pushFrame(m *bytecode.Method, args []heap.Word) {
@@ -307,8 +413,12 @@ func (in *Interp) pushFrame(m *bytecode.Method, args []heap.Word) {
 		locals: make([]heap.Word, m.Locals),
 		stack:  make([]heap.Word, 0, m.MaxStack),
 	}
-	if in.env.Opts.Threaded {
+	in.env.calls[m]++
+	switch in.env.Opts.Tier {
+	case TierThreaded:
 		f.fns = in.env.compile(m)
+	case TierOpt:
+		f.fns = in.env.compileTiered(m)
 	}
 	copy(f.locals, args)
 	in.frames = append(in.frames, f)
@@ -346,7 +456,7 @@ func (in *Interp) Execute() (heap.Word, error) {
 			return in.ret, in.err
 		}
 		body := in.loop
-		if in.env.Opts.Threaded {
+		if in.env.Opts.Tier != TierExec {
 			body = in.loopThreaded
 		}
 		again, ok := in.protect(body)

@@ -15,7 +15,7 @@ import (
 
 // profTotals runs one example under the profiler on one tier and returns
 // the dimension totals plus the runtime's final clock and wasted ticks.
-func profTotals(t *testing.T, src string, threaded bool) ([prof.NumDims]int64, int64, int64) {
+func profTotals(t *testing.T, src string, tier Tier) ([prof.NumDims]int64, int64, int64) {
 	t.Helper()
 	text, err := os.ReadFile(src)
 	if err != nil {
@@ -44,8 +44,11 @@ func profTotals(t *testing.T, src string, threaded bool) ([prof.NumDims]int64, i
 	})
 	if _, err := Run(rt, prog, Options{
 		Rewritten: true,
-		Threaded:  threaded,
-		Out:       io.Discard,
+		Tier:      tier,
+		// Promote at the first activation so TierOpt runs attribute from
+		// fused code throughout.
+		OptCallThreshold: 1,
+		Out:              io.Discard,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +67,8 @@ func profTotals(t *testing.T, src string, threaded bool) ([prof.NumDims]int64, i
 //   - the waste dimension reconciles EXACTLY with core.Stats.WastedTicks —
 //     the profiler's rollback reclassification and the runtime's CPU-delta
 //     accounting agree tick for tick;
-//   - both tiers attribute identically (the stamp hooks mirror each other).
+//   - all three tiers attribute identically (the per-constituent stamps in
+//     fused superinstructions mirror exec's per-instruction stamps).
 //
 // Block is deliberately outside the sum: on the uniprocessor, parked time
 // overlaps other threads' execution (overlay accounting, like Go's block
@@ -85,28 +89,26 @@ func TestProfilerPartitionsVirtualTime(t *testing.T) {
 	for _, src := range srcs {
 		src := src
 		t.Run(filepath.Base(src), func(t *testing.T) {
-			var tierTotals [2][prof.NumDims]int64
-			for ti, threaded := range []bool{false, true} {
-				totals, now, wasted := profTotals(t, src, threaded)
+			var tierTotals [3][prof.NumDims]int64
+			for ti, tier := range allTiers {
+				totals, now, wasted := profTotals(t, src, tier)
 				tierTotals[ti] = totals
-				tier := "switch"
-				if threaded {
-					tier = "threaded"
-				}
 				if sum := totals[prof.Work] + totals[prof.Waste] + totals[prof.Sched]; sum != now {
-					t.Errorf("%s: work %d + waste %d + sched %d = %d, want final clock %d",
+					t.Errorf("%v: work %d + waste %d + sched %d = %d, want final clock %d",
 						tier, totals[prof.Work], totals[prof.Waste], totals[prof.Sched], sum, now)
 				}
 				if totals[prof.Waste] != wasted {
-					t.Errorf("%s: profiled waste %d != Stats.WastedTicks %d",
+					t.Errorf("%v: profiled waste %d != Stats.WastedTicks %d",
 						tier, totals[prof.Waste], wasted)
 				}
 				if totals[prof.Block] < 0 {
-					t.Errorf("%s: negative block total %d", tier, totals[prof.Block])
+					t.Errorf("%v: negative block total %d", tier, totals[prof.Block])
 				}
 			}
-			if tierTotals[0] != tierTotals[1] {
-				t.Errorf("tiers disagree: switch %v, threaded %v", tierTotals[0], tierTotals[1])
+			for ti, tier := range allTiers[1:] {
+				if tierTotals[ti+1] != tierTotals[0] {
+					t.Errorf("tiers disagree: exec %v, %v %v", tierTotals[0], tier, tierTotals[ti+1])
+				}
 			}
 		})
 	}
@@ -117,7 +119,7 @@ func TestProfilerPartitionsVirtualTime(t *testing.T) {
 // shared monitor) and a nonzero waste profile (its revocation rolls the
 // low-priority holder back).
 func TestProfilerSeesContention(t *testing.T) {
-	totals, _, wasted := profTotals(t, filepath.Join("..", "..", "examples", "bytecode", "inversion.rvm"), false)
+	totals, _, wasted := profTotals(t, filepath.Join("..", "..", "examples", "bytecode", "inversion.rvm"), TierExec)
 	if totals[prof.Block] == 0 {
 		t.Error("inversion example blocked no ticks")
 	}

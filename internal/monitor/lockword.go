@@ -1,0 +1,141 @@
+// Compact lock word: a Jikes-RVM / Compact-Java-Monitors style thin lock
+// state packed into a single header word, with inflation to the full
+// prioritized-queue revocable monitor only when contention, wait sets, or
+// recursion overflow actually require it.
+//
+// States, distinguished by the word alone:
+//
+//	word == 0                 free and deflated (thin-eligible)
+//	word & lwInflated == 0    thin-held: owner id, recursion count and the
+//	                          deposited priority are packed in the word;
+//	                          thinOwner caches the owning thread
+//	word & lwInflated != 0    inflated: the struct fields (owner,
+//	                          entryCount, ownerPrio, queues) are
+//	                          authoritative; thinOwner is nil
+//
+// On the deterministic uniprocessor scheduler the "single CAS" of the
+// hardware design degenerates to a single packed store — the point is the
+// shape of the fast path: no queue inspection, no wait-set bookkeeping,
+// nothing but the header update plus the paper-mandated span state (gen,
+// deposited priority, acquisition time).
+//
+// Invariants:
+//   - thin state implies both queues are empty (contention and Wait
+//     inflate first), so Notify/NotifyAll on a thin monitor trivially
+//     find no waiters;
+//   - inflation never starts a new ownership span: gen, acquiredAt and
+//     the revocability flags are span-scoped struct fields in both states
+//     and carry over unchanged;
+//   - revocation machinery (revocation requests, ForceRelease handoff,
+//     queue boosts) only ever observes inflated monitors, because a
+//     request presupposes a contender and contention inflates.
+
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Thin lock word layout.
+const (
+	lwInflated   uint64 = 1 << 0 // struct fields authoritative
+	lwPrioShift         = 8
+	lwPrioMask   uint64 = 0xff << lwPrioShift
+	lwPrioBias          = 128 // packed priority is biased to stay non-negative
+	lwCountShift        = 16
+	lwCountUnit  uint64 = 1 << lwCountShift
+	lwCountMask  uint64 = 0xffff << lwCountShift
+	lwCountMax          = 0xffff
+	lwOwnerShift        = 32 // bits 32..63: owner thread id + 1
+)
+
+// thinPack builds the thin word for t's first acquisition: owner id,
+// recursion count 1, and t's current priority deposited in the header
+// (§4: "a thread acquiring a monitor deposits its priority in the header
+// of the monitor object").
+func thinPack(t *sched.Thread) uint64 {
+	return uint64(t.ID()+1)<<lwOwnerShift | lwCountUnit |
+		uint64(int(t.Priority())+lwPrioBias)<<lwPrioShift
+}
+
+func thinCount(w uint64) int { return int(w & lwCountMask >> lwCountShift) }
+
+func thinPrio(w uint64) sched.Priority {
+	return sched.Priority(int(w&lwPrioMask>>lwPrioShift) - lwPrioBias)
+}
+
+// inflate transfers thin state into the full monitor fields. The current
+// ownership span continues: gen, acquiredAt, acquisitions and the
+// revocability flags already live in span-scoped struct fields and are
+// not touched.
+func (m *Monitor) inflate() {
+	w := m.word
+	if w&lwInflated != 0 {
+		return
+	}
+	if w != 0 {
+		m.owner = m.thinOwner
+		m.entryCount = thinCount(w)
+		m.ownerPrio = thinPrio(w)
+	}
+	m.word = lwInflated
+	m.thinOwner = nil
+	m.inflations++
+}
+
+// Inflate forces the monitor into the inflated state (benchmark and test
+// hook; the runtime inflates on demand).
+func (m *Monitor) Inflate() { m.inflate() }
+
+// Inflated reports whether the monitor currently uses the full
+// prioritized-queue representation.
+func (m *Monitor) Inflated() bool { return m.word&lwInflated != 0 }
+
+// thinRelease drops a thin lock held at depth 1. No queues can exist in
+// the thin state, so there is nobody to hand over to.
+func (m *Monitor) thinRelease() {
+	m.word = 0
+	m.thinOwner = nil
+	if m.nonRevocable {
+		m.nonRevocable = false
+		m.nonRevReason = ""
+	}
+}
+
+// setDepth restores the owner's reentrancy depth after a Wait re-acquire,
+// in whichever representation the monitor currently uses.
+func (m *Monitor) setDepth(d int) {
+	if m.word&lwInflated == 0 && d <= lwCountMax {
+		m.word = m.word&^lwCountMask | uint64(d)<<lwCountShift
+		return
+	}
+	m.inflate()
+	m.entryCount = d
+}
+
+// DisableThin pins the monitor to the inflated state: the thin fast path
+// never engages and release never deflates. Used by the lock-word
+// ablation (core.Config.DisableThinLocks).
+func (m *Monitor) DisableThin() {
+	m.noThin = true
+	m.inflate()
+}
+
+// ThinAcquisitions returns how many ownership transfers took the thin
+// fast path.
+func (m *Monitor) ThinAcquisitions() int64 { return m.acquisitions - m.inflAcquisitions }
+
+// Inflations returns how many times the monitor inflated to the full
+// representation.
+func (m *Monitor) Inflations() int64 { return m.inflations }
+
+// Deflations returns how many times an uncontended release collapsed the
+// monitor back to the thin state.
+func (m *Monitor) Deflations() int64 { return m.deflations }
+
+// panicNonOwner reports a protocol violation uniformly across states.
+func (m *Monitor) panicNonOwner(op string, t *sched.Thread) {
+	panic(fmt.Sprintf("monitor %s: %s by non-owner %s (owner %v)", m.name, op, t.Name(), m.Owner()))
+}

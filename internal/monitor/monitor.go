@@ -27,9 +27,20 @@ import (
 
 // Monitor is one lock. In Java every object can act as a monitor; the
 // runtime layer associates Monitors with heap objects on demand.
+//
+// The representation is two-level (see lockword.go): uncontended
+// acquisition runs on a compact thin lock word, inflating to the full
+// prioritized-queue fields below only on contention, Object.wait, or
+// recursion overflow.
 type Monitor struct {
 	name string
 	sch  *sched.Scheduler
+
+	// word is the compact lock word; thinOwner caches the owning thread
+	// while the word is thin. Layout and state machine in lockword.go.
+	word      uint64
+	thinOwner *sched.Thread
+	noThin    bool
 
 	owner      *sched.Thread
 	entryCount int
@@ -59,8 +70,11 @@ type Monitor struct {
 	FIFOQueue bool
 
 	// Lifetime statistics.
-	acquisitions int64
-	contended    int64
+	acquisitions     int64
+	contended        int64
+	inflAcquisitions int64 // ownership transfers taken in the inflated state
+	inflations       int64
+	deflations       int64
 }
 
 // New creates a named monitor bound to a scheduler.
@@ -72,13 +86,31 @@ func New(sch *sched.Scheduler, name string) *Monitor {
 func (m *Monitor) Name() string { return m.name }
 
 // Owner returns the owning thread, or nil when free.
-func (m *Monitor) Owner() *sched.Thread { return m.owner }
+func (m *Monitor) Owner() *sched.Thread {
+	if m.word&lwInflated == 0 {
+		return m.thinOwner // nil when free
+	}
+	return m.owner
+}
 
 // EntryCount returns the owner's reentrancy depth (0 when free).
-func (m *Monitor) EntryCount() int { return m.entryCount }
+func (m *Monitor) EntryCount() int {
+	if w := m.word; w&lwInflated == 0 {
+		return thinCount(w)
+	}
+	return m.entryCount
+}
 
 // OwnerPriority returns the priority deposited at acquisition.
-func (m *Monitor) OwnerPriority() sched.Priority { return m.ownerPrio }
+func (m *Monitor) OwnerPriority() sched.Priority {
+	if w := m.word; w&lwInflated == 0 {
+		if w == 0 {
+			return 0
+		}
+		return thinPrio(w)
+	}
+	return m.ownerPrio
+}
 
 // AcquiredAt returns the virtual time of the current span's acquisition.
 func (m *Monitor) AcquiredAt() simtime.Ticks { return m.acquiredAt }
@@ -93,14 +125,19 @@ func (m *Monitor) Acquisitions() int64 { return m.acquisitions }
 func (m *Monitor) Contended() int64 { return m.contended }
 
 // HeldBy reports whether t currently owns the monitor.
-func (m *Monitor) HeldBy(t *sched.Thread) bool { return m.owner == t }
+func (m *Monitor) HeldBy(t *sched.Thread) bool { return m.Owner() == t }
 
 // String renders the monitor state for diagnostics.
 func (m *Monitor) String() string {
-	if m.owner == nil {
+	o := m.Owner()
+	if o == nil {
 		return fmt.Sprintf("monitor(%s, free)", m.name)
 	}
-	return fmt.Sprintf("monitor(%s, owner=%s depth=%d prio=%d)", m.name, m.owner.Name(), m.entryCount, m.ownerPrio)
+	state := "thin"
+	if m.Inflated() {
+		state = "inflated"
+	}
+	return fmt.Sprintf("monitor(%s, %s owner=%s depth=%d prio=%d)", m.name, state, o.Name(), m.EntryCount(), m.OwnerPriority())
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +178,34 @@ func (m *Monitor) NonRevocable() (bool, string) { return m.nonRevocable, m.nonRe
 // thread, it is allowed to run only if there are no other waiting
 // high-priority threads", §4).
 func (m *Monitor) TryEnter(t *sched.Thread) bool {
+	w := m.word
+	if w == 0 {
+		// Free and deflated: thin acquisition — pack the header word and
+		// stamp the span state. Nothing else is touched.
+		m.word = thinPack(t)
+		m.thinOwner = t
+		m.acquiredAt = m.sch.Now()
+		m.gen++
+		m.acquisitions++
+		return true
+	}
+	if w&lwInflated == 0 {
+		if m.thinOwner == t {
+			if w&lwCountMask == lwCountMask {
+				// Recursion overflow: the count field is saturated, so
+				// the depth moves to the inflated entryCount.
+				m.inflate()
+				m.entryCount++
+				return true
+			}
+			m.word = w + lwCountUnit
+			return true
+		}
+		// Contention on a thin lock: inflate to the full prioritized-queue
+		// monitor before the caller decides to block or revoke.
+		m.inflate()
+		return false
+	}
 	switch m.owner {
 	case nil:
 		m.takeOwnership(t)
@@ -153,7 +218,8 @@ func (m *Monitor) TryEnter(t *sched.Thread) bool {
 	}
 }
 
-// takeOwnership installs t as owner, depositing its priority.
+// takeOwnership installs t as owner of an inflated monitor, depositing
+// its priority. (Thin acquisition happens inline in TryEnter.)
 func (m *Monitor) takeOwnership(t *sched.Thread) {
 	m.owner = t
 	m.entryCount = 1
@@ -163,6 +229,7 @@ func (m *Monitor) takeOwnership(t *sched.Thread) {
 	m.nonRevocable = false
 	m.nonRevReason = ""
 	m.acquisitions++
+	m.inflAcquisitions++
 }
 
 // queuePop dequeues per the monitor's discipline: best priority (FIFO
@@ -207,8 +274,19 @@ func (m *Monitor) HighestWaiter() *sched.Thread { return m.entryQ.peek() }
 // no other waiting high-priority threads." Exit reports whether the
 // monitor was fully released (entryCount reached zero).
 func (m *Monitor) Exit(t *sched.Thread) bool {
+	if w := m.word; w&lwInflated == 0 {
+		if m.thinOwner != t {
+			m.panicNonOwner("Exit", t)
+		}
+		if w&lwCountMask != lwCountUnit {
+			m.word = w - lwCountUnit
+			return false
+		}
+		m.thinRelease()
+		return true
+	}
 	if m.owner != t {
-		panic(fmt.Sprintf("monitor %s: Exit by non-owner %s (owner %v)", m.name, t.Name(), m.owner))
+		m.panicNonOwner("Exit", t)
 	}
 	m.entryCount--
 	if m.entryCount > 0 {
@@ -223,14 +301,25 @@ func (m *Monitor) Exit(t *sched.Thread) bool {
 // vanish along with its effects. As after a normal release, "the
 // high-priority thread acquires control of the synchronized section" (§4).
 func (m *Monitor) ForceRelease(t *sched.Thread) {
+	if m.word&lwInflated == 0 {
+		if m.thinOwner != t {
+			m.panicNonOwner("ForceRelease", t)
+		}
+		// Revocation of a span nobody ever contended on: the nested
+		// re-entries live in the count field and vanish with the word.
+		m.thinRelease()
+		return
+	}
 	if m.owner != t {
-		panic(fmt.Sprintf("monitor %s: ForceRelease by non-owner %s", m.name, t.Name()))
+		m.panicNonOwner("ForceRelease", t)
 	}
 	m.release()
 }
 
-// release clears ownership, hands the monitor to the best-priority waiter
-// and schedules that thread (expedited when it outranks the releaser).
+// release clears ownership of an inflated monitor, hands it to the
+// best-priority waiter and schedules that thread (expedited when it
+// outranks the releaser). With no successor and an empty wait set the
+// monitor deflates back to the thin state.
 func (m *Monitor) release() {
 	releaser := m.owner
 	m.owner = nil
@@ -239,6 +328,10 @@ func (m *Monitor) release() {
 	m.nonRevReason = ""
 	next := m.queuePop()
 	if next == nil {
+		if m.waitQ.len() == 0 && !m.noThin {
+			m.word = 0
+			m.deflations++
+		}
 		return
 	}
 	m.takeOwnership(next)
@@ -266,12 +359,16 @@ func (m *Monitor) release() {
 // case the interrupt is treated as a JLS-sanctioned spurious wakeup and the
 // thread proceeds to re-acquire the monitor.
 func (m *Monitor) Wait(t *sched.Thread, onInterrupt func()) {
+	// Wait sets live on the full monitor: inflate before parking. The
+	// waiter is queued before release so the no-successor path cannot
+	// deflate a monitor that still has a wait set.
+	m.inflate()
 	if m.owner != t {
-		panic(fmt.Sprintf("monitor %s: Wait by non-owner %s", m.name, t.Name()))
+		m.panicNonOwner("Wait", t)
 	}
 	depth := m.entryCount
-	m.release()
 	m.waitQ.push(t)
+	m.release()
 	kind := t.Block("wait " + m.name)
 	if kind == sched.WakeInterrupt {
 		m.waitQ.remove(t)
@@ -280,10 +377,12 @@ func (m *Monitor) Wait(t *sched.Thread, onInterrupt func()) {
 		}
 		// Stale interrupt: proceed as a spurious wakeup.
 	}
-	// Notified (or spuriously woken): compete for the monitor again.
+	// Notified (or spuriously woken): compete for the monitor again. The
+	// monitor may have deflated in the meantime, so the depth restore is
+	// representation-aware.
 	for {
 		if m.TryEnter(t) {
-			m.entryCount = depth
+			m.setDepth(depth)
 			return
 		}
 		k := m.BlockOn(t)
@@ -294,7 +393,7 @@ func (m *Monitor) Wait(t *sched.Thread, onInterrupt func()) {
 			continue
 		}
 		if k == sched.WakeGranted {
-			m.entryCount = depth
+			m.setDepth(depth)
 			return
 		}
 	}
@@ -303,8 +402,14 @@ func (m *Monitor) Wait(t *sched.Thread, onInterrupt func()) {
 // Notify wakes the best-priority waiter, if any, and reports whether one
 // was woken. The caller must own the monitor.
 func (m *Monitor) Notify(t *sched.Thread) bool {
+	if m.word&lwInflated == 0 {
+		if m.thinOwner != t {
+			m.panicNonOwner("Notify", t)
+		}
+		return false // thin state: the wait set is necessarily empty
+	}
 	if m.owner != t {
-		panic(fmt.Sprintf("monitor %s: Notify by non-owner %s", m.name, t.Name()))
+		m.panicNonOwner("Notify", t)
 	}
 	w := m.waitQ.pop()
 	if w == nil {
@@ -316,8 +421,14 @@ func (m *Monitor) Notify(t *sched.Thread) bool {
 
 // NotifyAll wakes every waiter and returns how many were woken.
 func (m *Monitor) NotifyAll(t *sched.Thread) int {
+	if m.word&lwInflated == 0 {
+		if m.thinOwner != t {
+			m.panicNonOwner("NotifyAll", t)
+		}
+		return 0 // thin state: the wait set is necessarily empty
+	}
 	if m.owner != t {
-		panic(fmt.Sprintf("monitor %s: NotifyAll by non-owner %s", m.name, t.Name()))
+		m.panicNonOwner("NotifyAll", t)
 	}
 	n := 0
 	for {

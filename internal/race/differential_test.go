@@ -36,12 +36,9 @@ func TestDifferentialDynamicSubsetOfStatic(t *testing.T) {
 	}
 
 	for _, src := range srcs {
-		for _, threaded := range []bool{false, true} {
-			src, threaded := src, threaded
-			name := filepath.Base(src)
-			if threaded {
-				name += "/threaded"
-			}
+		for _, tier := range []interp.Tier{interp.TierExec, interp.TierThreaded, interp.TierOpt} {
+			src, tier := src, tier
+			name := filepath.Base(src) + "/" + tier.String()
 			t.Run(name, func(t *testing.T) {
 				text, err := os.ReadFile(src)
 				if err != nil {
@@ -75,9 +72,10 @@ func TestDifferentialDynamicSubsetOfStatic(t *testing.T) {
 					Sched:             sched.Config{Quantum: 1000},
 				})
 				if _, err := interp.Run(rt, prog, interp.Options{
-					Rewritten: true,
-					Threaded:  threaded,
-					Out:       io.Discard,
+					Rewritten:        true,
+					Tier:             tier,
+					OptCallThreshold: 1,
+					Out:              io.Discard,
 				}); err != nil {
 					t.Fatal(err)
 				}
