@@ -11,16 +11,26 @@
 //     analysis proves never need the undo-logging slow path;
 //   - with -races, candidate data races from the static lockset pass:
 //     slots reachable by two threads with at least one write and no common
-//     must-held monitor, plus volatile-bypass access patterns.
+//     must-held monitor, plus volatile-bypass access patterns;
+//   - with -deadlocks, the behavioral contract pass's findings: canonical
+//     deadlock cycles under the finer behavioral lock naming, including
+//     spawn-multiplicity and field-aliased circularities the SCC pass
+//     cannot see.
 //
 // Usage:
 //
-//	rvmlint [-json] [-races] [-fail-on-cycle] [-fail-on-race] program.rvm [more.rvm ...]
+//	rvmlint [-json] [-sarif] [-races] [-deadlocks]
+//	        [-fail-on-cycle] [-fail-on-race] [-fail-on-deadlock]
+//	        program.rvm [more.rvm ...]
 //
 // -json emits machine-readable output for CI (race findings included);
-// -fail-on-cycle exits non-zero when any lock-order cycle is found and
-// -fail-on-race when any candidate race is, making the tool usable as a
-// build gate.
+// -sarif emits the same findings as a SARIF 2.1.0 log for code-scanning
+// upload. -fail-on-cycle exits non-zero when any lock-order cycle is
+// found, -fail-on-race when any candidate race is, and -fail-on-deadlock
+// when the behavioral pass reports anything, making the tool usable as a
+// build gate. Every run also re-verifies the permission certificates the
+// analysis issued (analysis.Facts.VerifyCertificates): an undischarged
+// elision obligation is a hard error, the same gate interp.NewEnv applies.
 package main
 
 import (
@@ -46,14 +56,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rvmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	sarifOut := fs.Bool("sarif", false, "emit the findings as a SARIF 2.1.0 log")
 	races := fs.Bool("races", false, "print the static lockset pass's candidate data races")
+	deadlocks := fs.Bool("deadlocks", false, "print the behavioral deadlock pass's findings")
 	failOnCycle := fs.Bool("fail-on-cycle", false, "exit 1 when a lock-order cycle is found")
 	failOnRace := fs.Bool("fail-on-race", false, "exit 1 when a candidate data race is found")
+	failOnDeadlock := fs.Bool("fail-on-deadlock", false, "exit 1 when the behavioral pass reports a deadlock")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: rvmlint [-json] [-races] [-fail-on-cycle] [-fail-on-race] program.rvm ...")
+		fmt.Fprintln(stderr, "usage: rvmlint [-json] [-sarif] [-races] [-deadlocks] [-fail-on-cycle] [-fail-on-race] [-fail-on-deadlock] program.rvm ...")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -76,12 +89,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "rvmlint: %s: %v\n", path, err)
 			return 1
 		}
-		if *jsonOut {
+		// The soundness gate: every optimization the facts license must be
+		// a discharged proof obligation. An uncertified elision here is the
+		// same hard error interp.NewEnv raises before running the program.
+		if err := facts.VerifyCertificates(); err != nil {
+			fmt.Fprintf(stderr, "rvmlint: %s: %v\n", path, err)
+			return 1
+		}
+		if *jsonOut || *sarifOut {
 			reports = append(reports, fileReport{File: filepath.Base(path), Facts: facts})
 		} else {
 			fmt.Fprintf(stdout, "== %s ==\n%s", filepath.Base(path), facts.Render())
 			if *races {
 				fmt.Fprintf(stdout, "\n%s", facts.RenderRaces())
+			}
+			if *deadlocks {
+				fmt.Fprintf(stdout, "\n%s", facts.RenderDeadlocks())
 			}
 			fmt.Fprintln(stdout)
 		}
@@ -91,8 +114,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *failOnRace && len(facts.Races) > 0 {
 			exit = 1
 		}
+		if *failOnDeadlock && len(facts.Deadlocks) > 0 {
+			exit = 1
+		}
 	}
-	if *jsonOut {
+	if *sarifOut {
+		if err := writeSARIF(stdout, reports); err != nil {
+			fmt.Fprintln(stderr, "rvmlint:", err)
+			return 1
+		}
+	} else if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {

@@ -26,6 +26,9 @@ func TestGolden(t *testing.T) {
 		{"inversion", "bytecode", nil},
 		{"counter", "racy", []string{"-races"}},
 		{"volbypass", "racy", []string{"-races"}},
+		{"deadlock", "deadlock", []string{"-deadlocks"}},
+		{"deadlock2", "deadlock2", []string{"-deadlocks"}},
+		{"aliasdl", "aliasdl", []string{"-deadlocks"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -100,6 +103,115 @@ func TestSeededFindings(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "volatile-bypass: static:flag  raw-store") {
 		t.Errorf("raw-store bypass not reported:\n%s", out.String())
+	}
+}
+
+// TestBehavioralFindings pins the load-bearing behavioral-pass results on
+// the deadlock corpus: the SCC pass sees only the statically named cycle,
+// the behavioral pass sees all three shapes, and -fail-on-deadlock gates.
+func TestBehavioralFindings(t *testing.T) {
+	cases := []struct {
+		path     string
+		wantSCC  bool
+		wantLock string
+	}{
+		{filepath.Join("deadlock", "deadlock.rvm"), true, "static:A <-> static:B"},
+		{filepath.Join("deadlock2", "deadlock2.rvm"), false, "array:elem (multi-instance self-cycle)"},
+		{filepath.Join("aliasdl", "aliasdl.rvm"), false, "field:#0 (multi-instance self-cycle)"},
+	}
+	for _, c := range cases {
+		var out, errOut bytes.Buffer
+		code := run([]string{
+			"-deadlocks", "-fail-on-deadlock",
+			filepath.Join("..", "..", "examples", c.path),
+		}, &out, &errOut)
+		if code != 1 {
+			t.Errorf("%s: -fail-on-deadlock exit = %d, want 1; stderr: %s", c.path, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "deadlock: "+c.wantLock) {
+			t.Errorf("%s: behavioral deadlock %q not reported:\n%s", c.path, c.wantLock, out.String())
+		}
+		gotSCC := strings.Contains(out.String(), "potential deadlocks (lock-order cycles):")
+		if gotSCC != c.wantSCC {
+			t.Errorf("%s: SCC cycle reported=%v, want %v:\n%s", c.path, gotSCC, c.wantSCC, out.String())
+		}
+	}
+}
+
+// TestSARIFOutput: -sarif emits one valid SARIF 2.1.0 log covering every
+// input file, with behavioral-deadlock results only where the pass found
+// something.
+func TestSARIFOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-sarif",
+		filepath.Join("..", "..", "examples", "bytecode", "lockorder.rvm"),
+		filepath.Join("..", "..", "examples", "deadlock2", "deadlock2.rvm"),
+		filepath.Join("..", "..", "examples", "racy", "counter.rvm"),
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "rvmlint" || len(r.Tool.Driver.Rules) == 0 {
+		t.Fatalf("driver = %+v", r.Tool.Driver)
+	}
+	byRule := map[string][]string{}
+	for _, res := range r.Results {
+		for _, loc := range res.Locations {
+			byRule[res.RuleID] = append(byRule[res.RuleID], loc.PhysicalLocation.ArtifactLocation.URI)
+		}
+	}
+	has := func(rule, file string) bool {
+		for _, f := range byRule[rule] {
+			if f == file {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("lock-order-cycle", "lockorder.rvm") {
+		t.Errorf("lockorder cycle missing from SARIF: %v", byRule)
+	}
+	if !has("behavioral-deadlock", "deadlock2.rvm") {
+		t.Errorf("deadlock2 behavioral finding missing from SARIF: %v", byRule)
+	}
+	if has("behavioral-deadlock", "counter.rvm") {
+		t.Errorf("spurious behavioral finding for counter.rvm: %v", byRule)
+	}
+	if !has("candidate-race", "counter.rvm") {
+		t.Errorf("counter race missing from SARIF: %v", byRule)
 	}
 }
 

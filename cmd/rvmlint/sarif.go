@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// SARIF 2.1.0 export: the same report model -json serializes, reshaped
+// into one run with one result per finding so CI code-scanning uploads can
+// annotate the .rvm sources. Only the subset of the schema the findings
+// need is modelled.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID   string `json:"id"`
+	Desc struct {
+		Text string `json:"text"`
+	} `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical  `json:"physicalLocation"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogical struct {
+	FullyQualifiedName string `json:"fullyQualifiedName"`
+}
+
+var sarifRules = []struct{ id, desc string }{
+	{"lock-order-cycle", "Locks form a strongly connected acquisition-order component: two threads can acquire them in conflicting orders."},
+	{"behavioral-deadlock", "The behavioral contract pass found a circularity on the saturated thread system (spawn multiplicity and field/array lock aliasing included)."},
+	{"candidate-race", "Two threads can access the slot with at least one write and no common must-held monitor."},
+	{"volatile-bypass", "An access pattern defeats the volatile exemption on the slot."},
+}
+
+func sarifLoc(file string, positions ...analysis.Pos) []sarifLocation {
+	var out []sarifLocation
+	for _, p := range positions {
+		out = append(out, sarifLocation{
+			PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: file}},
+			LogicalLocations: []sarifLogical{{FullyQualifiedName: p.String()}},
+		})
+	}
+	if out == nil {
+		out = append(out, sarifLocation{PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: file}}})
+	}
+	return out
+}
+
+func cycleResult(rule, file string, c analysis.Cycle) sarifResult {
+	var sites []analysis.Pos
+	for _, e := range c.Edges {
+		sites = append(sites, e.At)
+	}
+	return sarifResult{
+		RuleID: rule,
+		Level:  "warning",
+		Message: sarifMessage{Text: fmt.Sprintf("potential deadlock: cycle %s (%d witness acquisitions)",
+			strings.Join(c.Locks, " <-> "), len(c.Edges))},
+		Locations: sarifLoc(file, sites...),
+	}
+}
+
+func writeSARIF(w io.Writer, reports []fileReport) error {
+	run := sarifRun{Results: []sarifResult{}}
+	run.Tool.Driver.Name = "rvmlint"
+	for _, r := range sarifRules {
+		rule := sarifRule{ID: r.id}
+		rule.Desc.Text = r.desc
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, rule)
+	}
+	for _, rep := range reports {
+		f := rep.Facts
+		for _, c := range f.Cycles {
+			run.Results = append(run.Results, cycleResult("lock-order-cycle", rep.File, c))
+		}
+		for _, c := range f.Deadlocks {
+			run.Results = append(run.Results, cycleResult("behavioral-deadlock", rep.File, c))
+		}
+		for _, race := range f.Races {
+			sites := append(append([]analysis.Pos{}, race.Writes...), race.Reads...)
+			run.Results = append(run.Results, sarifResult{
+				RuleID: "candidate-race",
+				Level:  "warning",
+				Message: sarifMessage{Text: fmt.Sprintf("candidate data race on %s between threads %s",
+					race.Slot, strings.Join(race.Threads, ", "))},
+				Locations: sarifLoc(rep.File, sites...),
+			})
+		}
+		for _, v := range f.Bypasses {
+			run.Results = append(run.Results, sarifResult{
+				RuleID:    "volatile-bypass",
+				Level:     "warning",
+				Message:   sarifMessage{Text: fmt.Sprintf("volatile bypass (%s) on %s", v.Kind, v.Slot)},
+				Locations: sarifLoc(rep.File, v.Pos),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	})
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/rewrite"
+	"repro/internal/sched"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRenderDeadlockCycles: the report names every member thread with its
+// priority, held monitor, acquisition site and wait edge, and re-formed
+// duplicates of one cycle collapse into a single block.
+func TestRenderDeadlockCycles(t *testing.T) {
+	cycle := []core.DeadlockEdge{
+		{Task: "ab#1", Priority: 5, Holds: "Lock#1", HoldSite: "ab@5", WaitsFor: "Lock#2", WaitSite: "ab@9"},
+		{Task: "ba#2", Priority: 3, Holds: "Lock#2", HoldSite: "ba@5", WaitsFor: "Lock#1", WaitSite: "ba@9"},
+	}
+	got := renderDeadlockCycles([][]core.DeadlockEdge{cycle, cycle})
+	want := "deadlock: wait-for cycle of 2 threads\n" +
+		"  ab#1 (prio 5) holds Lock#1 (acquired at ab@5) waits for Lock#2 (at ab@9)\n" +
+		"  ba#2 (prio 3) holds Lock#2 (acquired at ba@5) waits for Lock#1 (at ba@9)\n"
+	if got != want {
+		t.Errorf("report:\n%s\nwant:\n%s", got, want)
+	}
+	if n := strings.Count(got, "wait-for cycle"); n != 1 {
+		t.Errorf("duplicate cycle rendered %d times, want 1", n)
+	}
+}
+
+// TestDeadlockReportGolden pins the exact -deadlock runtime report for
+// each seeded deadlock example, produced through the same pipeline the
+// command runs (rewrite, certified static elision, revocation VM with
+// the wait-for-graph observer). The deterministic scheduler makes the
+// cycle — threads, priorities, monitors, sites — identical on every run.
+func TestDeadlockReportGolden(t *testing.T) {
+	for _, name := range []string{"deadlock", "deadlock2", "aliasdl"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("..", "..", "examples", name, name+".rvm"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := bytecode.Assemble(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bytecode.Verify(prog); err != nil {
+				t.Fatal(err)
+			}
+			prog, err = rewrite.Rewrite(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			facts, err := analysis.Analyze(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rewrite.ApplyStaticElision(prog, facts)
+
+			var cycles [][]core.DeadlockEdge
+			rt := core.New(core.Config{
+				Mode:              core.Revocation,
+				TrackDependencies: true,
+				DeadlockDetection: true,
+				OnDeadlock:        func(cycle []core.DeadlockEdge) { cycles = append(cycles, cycle) },
+				Sched:             sched.Config{Quantum: 1000},
+			})
+			if _, err := interp.Run(rt, prog, interp.Options{Rewritten: true, Facts: facts}); err != nil {
+				t.Fatal(err)
+			}
+			if len(cycles) == 0 {
+				t.Fatal("no deadlock witnessed")
+			}
+			got := []byte(renderDeadlockCycles(cycles))
+
+			golden := filepath.Join("testdata", name+".deadlock.golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("runtime deadlock report drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rvmrun [-vm unmodified|revocation] [-rewrite] [-static] [-race]
+//	rvmrun [-vm unmodified|revocation] [-rewrite] [-static] [-race] [-deadlock]
 //	       [-tier exec|threaded|opt] [-quantum N] [-trace] [-disasm] [-stats]
 //	       [-trace-out FILE] [-trace-format text|jsonl|perfetto]
 //	       [-metrics text|json] [-metrics-out FILE] program.rvm
@@ -39,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/bytecode"
@@ -63,6 +64,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "deterministic scheduler seed")
 		static    = flag.Bool("static", false, "run whole-program analysis: pre-mark non-revocable sections, elide proven-safe write barriers")
 		raceFlag  = flag.Bool("race", false, "enable the dynamic data-race sanitizer (reports to stderr, exit 1 on races)")
+		dlDetect  = flag.Bool("deadlock", false, "enable the runtime wait-for-graph deadlock detector (reports cycles to stderr, exit 1 on deadlocks)")
 		doTrace   = flag.Bool("trace", false, "stream runtime events to stderr")
 		timeline  = flag.Bool("timeline", false, "print an ASCII schedule timeline at the end")
 		disasm    = flag.Bool("disasm", false, "print the (rewritten) program and exit")
@@ -228,7 +230,7 @@ func main() {
 	if *raceFlag {
 		detector = race.New()
 	}
-	rt := core.New(core.Config{
+	cfg := core.Config{
 		Mode:              mode,
 		TrackDependencies: true,
 		DeadlockDetection: mode == core.Revocation,
@@ -241,7 +243,18 @@ func main() {
 			Seed:       *seed,
 			SwitchCost: simtime.Ticks(*switchCost),
 		},
-	})
+	}
+	// The wait-for-graph observer reports cycles without breaking them; in
+	// revocation mode the paper's own detector still resolves the deadlock
+	// afterwards, in unmodified mode the run ends in the scheduler's
+	// all-blocked diagnosis. Either way the report below names every edge.
+	var dlCycles [][]core.DeadlockEdge
+	if *dlDetect {
+		cfg.OnDeadlock = func(cycle []core.DeadlockEdge) {
+			dlCycles = append(dlCycles, cycle)
+		}
+	}
+	rt := core.New(cfg)
 	env, runErr := interp.Run(rt, prog, interp.Options{
 		Rewritten: *doRewrite,
 		Tier:      tier,
@@ -284,6 +297,9 @@ func main() {
 	if detector != nil {
 		fmt.Fprint(os.Stderr, race.RenderReports(raceReports))
 	}
+	if len(dlCycles) > 0 {
+		fmt.Fprint(os.Stderr, renderDeadlockCycles(dlCycles))
+	}
 	if observer != nil && *metrics != "" {
 		if err := writeMetrics(observer, *metrics, *metricsOut); err != nil {
 			fatal(err)
@@ -303,9 +319,35 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
-	if len(raceReports) > 0 {
+	if len(raceReports) > 0 || len(dlCycles) > 0 {
 		os.Exit(1)
 	}
+}
+
+// renderDeadlockCycles formats the wait-for-graph observer's reports, one
+// block per distinct cycle: every member thread with its priority, the
+// monitor it holds (and the bytecode site that acquired it), and the
+// monitor it is blocked on. Re-detections of the same cycle (a broken and
+// re-formed deadlock) collapse into one block.
+func renderDeadlockCycles(cycles [][]core.DeadlockEdge) string {
+	var b, key strings.Builder
+	seen := make(map[string]bool)
+	for _, cy := range cycles {
+		key.Reset()
+		for _, e := range cy {
+			fmt.Fprintf(&key, "%s->%s;", e.Task, e.Holds)
+		}
+		if seen[key.String()] {
+			continue
+		}
+		seen[key.String()] = true
+		fmt.Fprintf(&b, "deadlock: wait-for cycle of %d threads\n", len(cy))
+		for _, e := range cy {
+			fmt.Fprintf(&b, "  %s (prio %d) holds %s (acquired at %s) waits for %s (at %s)\n",
+				e.Task, e.Priority, e.Holds, e.HoldSite, e.WaitsFor, e.WaitSite)
+		}
+	}
+	return b.String()
 }
 
 // serveHTTP starts the live profiling endpoint. The returned function is

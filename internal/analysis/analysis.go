@@ -24,6 +24,20 @@
 //     was allocated inside the current section (whose allocation undo entry
 //     already restores it wholesale on rollback).
 //
+//   - The behavioral deadlock pass (behavior.go) infers per-method
+//     lock/spawn contracts, unfolds them through SPAWN to a thread-system
+//     fixpoint, and checks circularity under a finer abstract-lock naming
+//     (field- and array-sourced monitors get merged identities). It reports
+//     deadlocks that need spawned thread multiplicity or value-dependent
+//     lock aliasing, where the SCC pass above stays structurally silent.
+//
+//   - The permission pass (perm.go) re-derives every optimization the
+//     facts license as a proof obligation over held-region and freshness
+//     permission lattices and emits a machine-checkable elision
+//     Certificate per (method, pc, kind). Consumers call RequireCert
+//     instead of trusting raw fact fields; interp.NewEnv rejects a fact
+//     set whose obligations are not fully discharged.
+//
 // Every classification errs on the conservative side: over-marking a
 // section non-revocable only denies revocations (the unmodified VM denies
 // all of them), and under-eliding only keeps a barrier that was already
@@ -140,6 +154,15 @@ type Facts struct {
 	Sections []*Section `json:"sections"`
 	// Cycles lists the potential lock-order deadlocks.
 	Cycles []Cycle `json:"cycles,omitempty"`
+	// Deadlocks lists the circularities found by the behavioral contract
+	// pass (behavior.go): every lock-order cycle under the finer behavioral
+	// naming, plus single-name circularities on multi-instance locks that
+	// the SCC pass structurally cannot see.
+	Deadlocks []Cycle `json:"deadlocks,omitempty"`
+	// Certs lists the elision certificates issued by the permission pass
+	// (perm.go): one discharged proof obligation per optimization the
+	// runtime is allowed to perform on the strength of these facts.
+	Certs []*Certificate `json:"certificates,omitempty"`
 	// Races lists the candidate data races (races.go); Bypasses the
 	// volatile-bypass access patterns.
 	Races    []Race           `json:"races,omitempty"`
@@ -161,6 +184,7 @@ type Facts struct {
 	sectionAt map[Pos]*Section
 	elidable  map[Pos]bool
 	neverHeld map[Pos]bool
+	certAt    map[certKey]*Certificate
 }
 
 // Analyze runs every pass over p. The program must verify (Analyze runs
@@ -204,6 +228,8 @@ func Analyze(p *bytecode.Program) (*Facts, error) {
 	f.buildLockOrder()
 	f.computeElision()
 	f.computeRaces()
+	f.computeDeadlocks()
+	f.computePermissions()
 	f.normalize()
 	return f, nil
 }
@@ -315,7 +341,11 @@ func (f *Facts) computeMonitorFree() {
 		}
 		for _, in := range mi.m.Code {
 			switch in.Op {
-			case bytecode.MONITORENTER, bytecode.MONITOREXIT, bytecode.WAIT, bytecode.NATIVE:
+			case bytecode.MONITORENTER, bytecode.MONITOREXIT, bytecode.WAIT, bytecode.NATIVE,
+				bytecode.SPAWN:
+				// SPAWN publishes its arguments to a concurrently running
+				// thread, so a call into a spawning method must not preserve
+				// the caller's freshness facts.
 				return true
 			}
 		}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bytecode"
+)
+
+// Behavioral deadlock analysis.
+//
+// The SCC pass in lockorder.go reasons about a fixed set of abstract lock
+// NAMES: it reports a deadlock only when two or more distinct names form a
+// cycle, it deliberately drops self-edges (reentrant re-acquisition of one
+// name is not a deadlock for a single object), and its naming gives every
+// monitor it cannot trace to a static or receiver a unique "local:" id, so
+// locks reached through fields or array elements never alias. Both choices
+// are right for zero-false-positive reporting on statically named locks —
+// and both make the pass structurally blind to two real deadlock shapes:
+//
+//  1. Spawned multiplicity. A method that locks a then b deadlocks against
+//     a second concurrent instance of ITSELF when a and b come from one
+//     multi-instance source (one allocation site run in a loop, one array
+//     of locks): thread 1 holds instance x waiting for y while thread 2
+//     holds y waiting for x. Under abstraction both acquisitions carry the
+//     SAME name, so the only witness is a self-edge — exactly what the SCC
+//     pass drops.
+//
+//  2. Value-dependent aliasing. Two threads locking c1.l then c2.l and
+//     c2.l then c1.l never share a syntactic lock expression; only the
+//     FIELD the lock flows through is common. Unique "local:" names hide
+//     the conflict entirely.
+//
+// This pass closes both gaps with a behavioral-contract view (after
+// Garcia & Laneve's deadlock analysis of contracts with dynamic thread
+// creation): each method's contract is the sequence of lock acquisitions
+// and SPAWN actions it may perform, abstracted to behavioral lock names;
+// contracts unfold through INVOKE and SPAWN until the set of
+// (held-lock, acquired-lock) pairs and the set of concurrently live
+// contract instances both reach a fixpoint. Circularity is then checked on
+// the saturated system:
+//
+//   - every SCC of two or more behavioral names is a deadlock (the
+//     lockorder.go criterion, under the finer naming); and
+//
+//   - a SELF-edge l -> l is a deadlock when l is a multi-instance name
+//     (allocation-site, field- or array-sourced: one name, many objects)
+//     AND at least two concurrent thread instances can perform the nested
+//     acquisition — two instances suffice to cross-block on two objects of
+//     the name. Receiver and argument names are excluded: a nested
+//     acquisition through one unchanged variable is the same object on any
+//     single execution (plain reentrancy), keeping the pass silent on the
+//     ubiquitous reentrant-sync pattern.
+//
+// Thread multiplicity comes from threadReachability (races.go), which
+// models dynamic thread creation: every SPAWN target is a contract root
+// carrying two pseudo-identities, because one spawn site may start many
+// concurrent instances (spawn in a loop, spawning method itself running
+// twice). Declared threads carry one identity each. Findings land in
+// Facts.Deadlocks as Cycle values — same shape, same witness edges — and
+// render via RenderDeadlocks (rvmlint -deadlocks).
+
+// behavLockID is the behavioral naming: lockID extended so monitors traced
+// to a GETFIELD merge per field index and monitors traced to an ALOAD
+// merge into one array-element name. Merging over-approximates aliasing —
+// the right direction for a may-deadlock report.
+func (f *Facts) behavLockID(mi *methodInfo, ep int) string {
+	m := mi.m
+	if ep > 0 {
+		switch prev := m.Code[ep-1]; prev.Op {
+		case bytecode.GETFIELD:
+			return fmt.Sprintf("field:#%d", prev.A)
+		case bytecode.ALOAD:
+			return "array:elem"
+		case bytecode.LOAD:
+			if id := f.behavLocalSource(mi, prev.A); id != "" {
+				return id
+			}
+		}
+	}
+	return f.lockID(mi, ep)
+}
+
+// behavLocalSource resolves a local used as a monitor to a merged
+// behavioral name when every STORE to it is fed by the same field or
+// array-element source; "" defers to the base localLockID resolution.
+func (f *Facts) behavLocalSource(mi *methodInfo, local int) string {
+	m := mi.m
+	var ids []string
+	stores := 0
+	for pc, in := range m.Code {
+		if in.Op != bytecode.STORE || in.A != local {
+			continue
+		}
+		stores++
+		if pc == 0 {
+			continue
+		}
+		switch prev := m.Code[pc-1]; prev.Op {
+		case bytecode.GETFIELD:
+			ids = append(ids, fmt.Sprintf("field:#%d", prev.A))
+		case bytecode.ALOAD:
+			ids = append(ids, "array:elem")
+		}
+	}
+	if stores == 0 || len(ids) != stores {
+		return ""
+	}
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			return ""
+		}
+	}
+	return ids[0]
+}
+
+// multiInstance reports whether a behavioral name may denote two or more
+// distinct monitor objects at once: allocation-site names (one site, many
+// executions) and merged field/array names. Static and receiver/argument
+// names are excluded — "static:" is one object, and a receiver or argument
+// is one object per executing frame.
+func multiInstance(id string) bool {
+	return strings.HasPrefix(id, "new:") ||
+		strings.HasPrefix(id, "field:") ||
+		strings.HasPrefix(id, "array:")
+}
+
+// computeDeadlocks builds the behavioral lock-order graph and fills
+// Facts.Deadlocks. Runs after discoverSections and buildLockOrder.
+func (f *Facts) computeDeadlocks() {
+	// The saturated acquisition system: discoverSections already has one
+	// Section per acquisition site in EVERY method — spawned bodies
+	// included — so re-deriving lockorder.go's edges under the behavioral
+	// naming, self-edges kept, is the contract unfolding's order component.
+	lockOf := make(map[Pos]string, len(f.Sections))
+	for _, s := range f.Sections {
+		if s.SyncMethod {
+			lockOf[s.Enter] = s.Lock
+		} else {
+			lockOf[s.Enter] = f.behavLockID(f.methods[s.Enter.Method], s.Enter.PC)
+		}
+	}
+
+	var edges []LockEdge
+	seen := make(map[LockEdge]bool)
+	add := func(e LockEdge) {
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, s := range f.Sections {
+		from := lockOf[s.Enter]
+		mi := f.methods[s.Enter.Method]
+		for _, pc := range s.PCs {
+			if mi.m.Code[pc].Op == bytecode.MONITORENTER && pc != s.Enter.PC {
+				add(LockEdge{From: from, To: f.behavLockID(mi, pc), At: Pos{mi.m.Name, pc}, Outer: s.Enter})
+			}
+		}
+		for _, callee := range s.Callees {
+			ci := f.methods[callee]
+			if ci == nil {
+				continue
+			}
+			if ci.m.Synchronized {
+				add(LockEdge{From: from, To: "recv:" + baseName(callee), At: Pos{callee, 0}, Outer: s.Enter})
+			}
+			for pc, in := range ci.m.Code {
+				if in.Op == bytecode.MONITORENTER && ci.depth[pc] >= 0 {
+					add(LockEdge{From: from, To: f.behavLockID(ci, pc), At: Pos{callee, pc}, Outer: s.Enter})
+				}
+			}
+		}
+	}
+
+	// Multi-name circularities: the SCC criterion under behavioral naming.
+	f.Deadlocks = findCycles(edges)
+
+	// Single-name circularities. acq[l] is the set of concurrent thread
+	// instances that may acquire l — the thread-system fixpoint, spawn
+	// pseudo-identities counting their multiplicity.
+	reach := f.threadReachability()
+	acq := make(map[string]map[string]bool)
+	for _, s := range f.Sections {
+		l := lockOf[s.Enter]
+		for t := range reach[s.Enter.Method] {
+			if acq[l] == nil {
+				acq[l] = make(map[string]bool)
+			}
+			acq[l][t] = true
+		}
+	}
+	selfEdges := make(map[string][]LockEdge)
+	var selfNames []string
+	for _, e := range edges {
+		if e.From != e.To || !multiInstance(e.From) || len(acq[e.From]) < 2 {
+			continue
+		}
+		if selfEdges[e.From] == nil {
+			selfNames = append(selfNames, e.From)
+		}
+		selfEdges[e.From] = append(selfEdges[e.From], e)
+	}
+	sort.Strings(selfNames)
+	for _, l := range selfNames {
+		f.Deadlocks = append(f.Deadlocks, Cycle{Locks: []string{l}, Edges: selfEdges[l]})
+	}
+}
+
+// RenderDeadlocks formats the behavioral findings as deterministic text
+// (the rvmlint -deadlocks section).
+func (f *Facts) RenderDeadlocks() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "behavioral deadlocks: %d (lock-order cycles: %d)\n", len(f.Deadlocks), len(f.Cycles))
+	for _, c := range f.Deadlocks {
+		if len(c.Locks) == 1 {
+			fmt.Fprintf(&b, "  deadlock: %s (multi-instance self-cycle)\n", c.Locks[0])
+		} else {
+			fmt.Fprintf(&b, "  deadlock: %s\n", strings.Join(c.Locks, " <-> "))
+		}
+		for _, e := range c.Edges {
+			fmt.Fprintf(&b, "    %s acquired at %v while holding %s (entered at %v)\n",
+				e.To, e.At, e.From, e.Outer)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+// TestBehavioralArraySelfCycle: one worker method spawned twice locks
+// arr[i] then arr[j]. Under the SCC pass both monitors are untraceable
+// locals with unique names (no cycle); the behavioral pass merges them
+// into the multi-instance name "array:elem" and keeps the self-edge
+// because two spawned contract instances perform the nested acquisition.
+func TestBehavioralArraySelfCycle(t *testing.T) {
+	f := analyze(t, `
+class Lock {
+    unused
+}
+static ARR
+method main locals 0 {
+    const 2
+    newarr
+    putstatic ARR
+    const 0
+    spawn worker
+    const 1
+    spawn worker
+    return
+}
+method worker args 1 locals 3 {
+    getstatic ARR
+    load 0
+    aload
+    store 1
+    sync 1 {
+        getstatic ARR
+        const 0
+        aload
+        store 2
+        sync 2 {
+            nop
+        }
+    }
+    return
+}
+`)
+	if len(f.Cycles) != 0 {
+		t.Fatalf("SCC pass should be silent, got %+v", f.Cycles)
+	}
+	if len(f.Deadlocks) != 1 {
+		t.Fatalf("deadlocks = %+v, want exactly 1", f.Deadlocks)
+	}
+	c := f.Deadlocks[0]
+	if len(c.Locks) != 1 || c.Locks[0] != "array:elem" {
+		t.Fatalf("deadlock locks = %v, want [array:elem]", c.Locks)
+	}
+	if len(c.Edges) == 0 {
+		t.Fatalf("self-cycle has no witness edges: %+v", c)
+	}
+	for _, e := range c.Edges {
+		if e.From != "array:elem" || e.To != "array:elem" {
+			t.Fatalf("witness %+v is not a self-edge on array:elem", e)
+		}
+	}
+}
+
+// TestBehavioralFieldSelfCycle: two threads lock first.l then second.l
+// and second.l then first.l. No syntactic lock expression is shared —
+// only the field the locks flow through — so the SCC pass is silent and
+// the behavioral pass reports the field:#0 self-cycle.
+func TestBehavioralFieldSelfCycle(t *testing.T) {
+	f := analyze(t, `
+class Lock {
+    unused
+}
+class Cell {
+    l
+}
+static FIRST
+static SECOND
+method main locals 0 {
+    spawn forward
+    spawn backward
+    return
+}
+method forward locals 2 {
+    getstatic FIRST
+    getfield Cell.l
+    store 0
+    sync 0 {
+        getstatic SECOND
+        getfield Cell.l
+        store 1
+        sync 1 {
+            nop
+        }
+    }
+    return
+}
+method backward locals 2 {
+    getstatic SECOND
+    getfield Cell.l
+    store 0
+    sync 0 {
+        getstatic FIRST
+        getfield Cell.l
+        store 1
+        sync 1 {
+            nop
+        }
+    }
+    return
+}
+`)
+	if len(f.Cycles) != 0 {
+		t.Fatalf("SCC pass should be silent, got %+v", f.Cycles)
+	}
+	if len(f.Deadlocks) != 1 {
+		t.Fatalf("deadlocks = %+v, want exactly 1", f.Deadlocks)
+	}
+	c := f.Deadlocks[0]
+	if len(c.Locks) != 1 || c.Locks[0] != "field:#0" {
+		t.Fatalf("deadlock locks = %v, want [field:#0]", c.Locks)
+	}
+	// Both threads' nested acquisitions witness the one canonical cycle.
+	if len(c.Edges) != 2 {
+		t.Fatalf("witnesses = %+v, want both threads' nested acquisitions", c.Edges)
+	}
+}
+
+// TestBehavioralSilentOnReentrancy: nested acquisition of one
+// single-instance name (a static lock) is plain reentrancy, not a
+// deadlock — the self-edge is dropped because static: names one object.
+func TestBehavioralSilentOnReentrancy(t *testing.T) {
+	f := analyze(t, `
+class Lock {
+    unused
+}
+static A
+method main locals 1 {
+    newobj Lock
+    putstatic A
+    getstatic A
+    store 0
+    sync 0 {
+        sync 0 {
+            nop
+        }
+    }
+    return
+}
+method spawned locals 1 {
+    getstatic A
+    store 0
+    sync 0 {
+        sync 0 {
+            nop
+        }
+    }
+    return
+}
+`)
+	if len(f.Deadlocks) != 0 {
+		t.Fatalf("reentrant static lock reported as deadlock: %+v", f.Deadlocks)
+	}
+}
+
+// TestBehavioralNeedsTwoAcquirers: the field self-edge is only a
+// deadlock when at least two concurrent thread instances can perform
+// the nested acquisition. One declared thread, no spawns: silent.
+func TestBehavioralNeedsTwoAcquirers(t *testing.T) {
+	f := analyze(t, `
+class Cell {
+    l
+}
+static FIRST
+static SECOND
+thread main priority 5 run forward
+method forward locals 2 {
+    getstatic FIRST
+    getfield Cell.l
+    store 0
+    sync 0 {
+        getstatic SECOND
+        getfield Cell.l
+        store 1
+        sync 1 {
+            nop
+        }
+    }
+    return
+}
+`)
+	if len(f.Deadlocks) != 0 {
+		t.Fatalf("single-thread field nesting reported as deadlock: %+v", f.Deadlocks)
+	}
+}
+
+// TestBehavioralSeesStaticCycles: on the plain two-static opposite-order
+// shape the behavioral pass agrees with the SCC pass — same canonical
+// cycle under the same names, so the finer naming loses nothing.
+func TestBehavioralSeesStaticCycles(t *testing.T) {
+	f := analyze(t, `
+class Lock {
+    unused
+}
+static A
+static B
+method main locals 0 {
+    spawn ab
+    spawn ba
+    return
+}
+method ab locals 2 {
+    getstatic A
+    store 0
+    getstatic B
+    store 1
+    sync 0 {
+        sync 1 {
+            nop
+        }
+    }
+    return
+}
+method ba locals 2 {
+    getstatic A
+    store 0
+    getstatic B
+    store 1
+    sync 1 {
+        sync 0 {
+            nop
+        }
+    }
+    return
+}
+`)
+	if len(f.Cycles) != 1 {
+		t.Fatalf("cycles = %+v, want 1", f.Cycles)
+	}
+	if len(f.Deadlocks) != 1 {
+		t.Fatalf("deadlocks = %+v, want 1", f.Deadlocks)
+	}
+	got, want := f.Deadlocks[0], f.Cycles[0]
+	if len(got.Locks) != 2 || got.Locks[0] != want.Locks[0] || got.Locks[1] != want.Locks[1] {
+		t.Fatalf("behavioral cycle %v, SCC cycle %v", got.Locks, want.Locks)
+	}
+}
+
+// TestCanonicalCycles: rotations and permutations of one cycle collapse
+// to a single canonical report anchored at the smallest lock, with the
+// witness edges unioned, sorted, and deduped.
+func TestCanonicalCycles(t *testing.T) {
+	e1 := LockEdge{From: "static:A", To: "static:B", At: Pos{"m", 3}}
+	e2 := LockEdge{From: "static:B", To: "static:A", At: Pos{"n", 7}}
+	out := canonicalCycles([]Cycle{
+		{Locks: []string{"static:B", "static:A"}, Edges: []LockEdge{e2, e1}},
+		{Locks: []string{"static:A", "static:B"}, Edges: []LockEdge{e1}},
+		{Locks: []string{"static:A", "static:A", "static:B"}, Edges: []LockEdge{e2}},
+	})
+	if len(out) != 1 {
+		t.Fatalf("canonicalCycles merged to %d cycles, want 1: %+v", len(out), out)
+	}
+	c := out[0]
+	if len(c.Locks) != 2 || c.Locks[0] != "static:A" || c.Locks[1] != "static:B" {
+		t.Fatalf("canonical locks = %v", c.Locks)
+	}
+	if len(c.Edges) != 2 || c.Edges[0] != e1 || c.Edges[1] != e2 {
+		t.Fatalf("canonical edges = %+v, want [%+v %+v]", c.Edges, e1, e2)
+	}
+}
+
+// TestBehavioralVsSCCOnExamples is the diffing test over the seeded
+// example corpus (rewrite-independent: both passes report the same lock
+// names pre- and post-rewrite; the post-rewrite pcs are pinned by the
+// rvmlint goldens): the SCC pass reports only the statically named
+// deadlock.rvm cycle, while the behavioral pass additionally reports
+// the spawn-multiplicity (deadlock2) and field-aliasing (aliasdl)
+// shapes it was built to see.
+func TestBehavioralVsSCCOnExamples(t *testing.T) {
+	cases := []struct {
+		path      string
+		wantSCC   bool
+		wantLocks []string
+	}{
+		{"deadlock/deadlock.rvm", true, []string{"static:A", "static:B"}},
+		{"deadlock2/deadlock2.rvm", false, []string{"array:elem"}},
+		{"aliasdl/aliasdl.rvm", false, []string{"field:#0"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(filepath.Base(c.path), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("..", "..", "examples", c.path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := bytecode.Assemble(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Analyze(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(f.Cycles) > 0; got != c.wantSCC {
+				t.Errorf("SCC cycles = %+v, want reported=%v", f.Cycles, c.wantSCC)
+			}
+			if len(f.Deadlocks) != 1 {
+				t.Fatalf("behavioral deadlocks = %+v, want exactly 1", f.Deadlocks)
+			}
+			got := f.Deadlocks[0].Locks
+			if len(got) != len(c.wantLocks) {
+				t.Fatalf("deadlock locks = %v, want %v", got, c.wantLocks)
+			}
+			for i := range got {
+				if got[i] != c.wantLocks[i] {
+					t.Fatalf("deadlock locks = %v, want %v", got, c.wantLocks)
+				}
+			}
+		})
+	}
+}

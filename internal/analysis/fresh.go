@@ -230,6 +230,19 @@ func (f *Facts) transfer(mi *methodInfo, pc int, in bytecode.Instr, st *freshSta
 		if callee.m.Returns {
 			push(false)
 		}
+	case bytecode.SPAWN:
+		callee := f.methods[in.S]
+		if callee == nil {
+			return false
+		}
+		if !pop(callee.m.Args) {
+			return false
+		}
+		// The spawned thread runs concurrently from here on: its arguments
+		// are published, and any object it can reach may be mutated outside
+		// the current section, so a rollback replaying the allocation would
+		// wipe another thread's writes. All freshness dies.
+		st.killAll()
 	case bytecode.SAVESTACK:
 		d := int(in.V)
 		if len(st.stack) != d {

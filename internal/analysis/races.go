@@ -265,27 +265,47 @@ func (f *Facts) computeRaces() {
 	}
 }
 
-// threadReachability maps each method to the set of declared threads that
-// can (transitively) call it. Uses the full call graph: over-approximating
-// reachability only adds candidate accesses.
+// threadReachability maps each method to the set of thread identities that
+// can (transitively) call it: the declared threads plus one pseudo-root per
+// SPAWN target. Uses the full call graph: over-approximating reachability
+// only adds candidate accesses.
+//
+// A spawn target gets TWO pseudo-identities ("spawn:M" and "spawn:M'"):
+// one spawn site can start several concurrent instances of the same method
+// (a spawn inside a loop, or a spawning method itself running on two
+// threads), so an access pair entirely inside a spawned body must still
+// count as reachable by two threads. Treating every spawn site as live
+// regardless of its own reachability is a further over-approximation in
+// the same safe direction.
 func (f *Facts) threadReachability() map[string]map[string]bool {
 	reach := make(map[string]map[string]bool)
-	for _, td := range f.prog.Threads {
-		if f.methods[td.Method] == nil {
-			continue
-		}
-		queue := []string{td.Method}
+	mark := func(root, tname string) {
+		queue := []string{root}
 		for len(queue) > 0 {
 			name := queue[0]
 			queue = queue[1:]
 			if reach[name] == nil {
 				reach[name] = make(map[string]bool)
 			}
-			if reach[name][td.Name] {
+			if reach[name][tname] {
 				continue
 			}
-			reach[name][td.Name] = true
+			reach[name][tname] = true
 			queue = append(queue, f.CallGraph[name]...)
+		}
+	}
+	for _, td := range f.prog.Threads {
+		if f.methods[td.Method] != nil {
+			mark(td.Method, td.Name)
+		}
+	}
+	for _, m := range f.prog.Methods {
+		mi := f.methods[m.Name]
+		for pc, in := range m.Code {
+			if in.Op == bytecode.SPAWN && mi.depth[pc] >= 0 && f.methods[in.S] != nil {
+				mark(in.S, "spawn:"+in.S)
+				mark(in.S, "spawn:"+in.S+"'")
+			}
 		}
 	}
 	return reach
@@ -337,6 +357,26 @@ func (f *Facts) contextLocksets(reach map[string]map[string]bool, sectionsOf map
 			ctx[td.Method] = make(map[string]bool)
 			known[td.Method] = true
 			queue = append(queue, td.Method)
+		}
+	}
+	// A spawned body starts on a fresh thread holding nothing: seed every
+	// SPAWN target with the empty context so locks held at the spawn site
+	// never count as protecting the spawned code.
+	for _, m := range f.prog.Methods {
+		mi := f.methods[m.Name]
+		for pc, in := range m.Code {
+			if in.Op != bytecode.SPAWN || mi.depth[pc] < 0 || f.methods[in.S] == nil {
+				continue
+			}
+			if known[in.S] {
+				if shrinkTo(ctx[in.S], nil) {
+					queue = append(queue, in.S)
+				}
+				continue
+			}
+			ctx[in.S] = make(map[string]bool)
+			known[in.S] = true
+			queue = append(queue, in.S)
 		}
 	}
 	for len(queue) > 0 {

@@ -37,22 +37,18 @@ func (f *Facts) normalize() {
 		}
 		s.Reasons = s.Reasons[:w]
 	}
-	for ci := range f.Cycles {
-		c := &f.Cycles[ci]
-		sort.Slice(c.Edges, func(i, j int) bool {
-			a, b := c.Edges[i], c.Edges[j]
-			if a.From != b.From {
-				return a.From < b.From
-			}
-			if a.To != b.To {
-				return a.To < b.To
-			}
-			if a.At.Method != b.At.Method {
-				return a.At.Method < b.At.Method
-			}
-			return a.At.PC < b.At.PC
-		})
-	}
+	f.Cycles = canonicalCycles(f.Cycles)
+	f.Deadlocks = canonicalCycles(f.Deadlocks)
+	sort.Slice(f.Certs, func(i, j int) bool {
+		a, b := f.Certs[i], f.Certs[j]
+		if a.Pos.Method != b.Pos.Method {
+			return a.Pos.Method < b.Pos.Method
+		}
+		if a.Pos.PC != b.Pos.PC {
+			return a.Pos.PC < b.Pos.PC
+		}
+		return a.Kind < b.Kind
+	})
 	sort.Slice(f.Races, func(i, j int) bool { return f.Races[i].Slot < f.Races[j].Slot })
 	sort.Slice(f.Bypasses, func(i, j int) bool {
 		a, b := f.Bypasses[i], f.Bypasses[j]
@@ -67,6 +63,68 @@ func (f *Facts) normalize() {
 		}
 		return a.Pos.PC < b.Pos.PC
 	})
+}
+
+// canonicalCycles puts every cycle report in canonical form and dedups:
+// the member locks sort lexicographically (so every rotation of one cycle
+// collapses to a single form, anchored at the smallest lock) and dedup,
+// witness edges sort and dedup, and cycles whose canonical lock sets
+// coincide merge into one report with the union of their witnesses.
+func canonicalCycles(cs []Cycle) []Cycle {
+	byKey := make(map[string]int)
+	var out []Cycle
+	for _, c := range cs {
+		sort.Strings(c.Locks)
+		w := 0
+		for i, l := range c.Locks {
+			if i == 0 || l != c.Locks[w-1] {
+				c.Locks[w] = l
+				w++
+			}
+		}
+		c.Locks = c.Locks[:w]
+		key := strings.Join(c.Locks, "\x00")
+		if i, ok := byKey[key]; ok {
+			out[i].Edges = append(out[i].Edges, c.Edges...)
+			continue
+		}
+		byKey[key] = len(out)
+		out = append(out, c)
+	}
+	for i := range out {
+		c := &out[i]
+		sort.Slice(c.Edges, func(i, j int) bool {
+			a, b := c.Edges[i], c.Edges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			if a.At.Method != b.At.Method {
+				return a.At.Method < b.At.Method
+			}
+			if a.At.PC != b.At.PC {
+				return a.At.PC < b.At.PC
+			}
+			if a.Outer.Method != b.Outer.Method {
+				return a.Outer.Method < b.Outer.Method
+			}
+			return a.Outer.PC < b.Outer.PC
+		})
+		w := 0
+		for j, e := range c.Edges {
+			if j == 0 || e != c.Edges[w-1] {
+				c.Edges[w] = e
+				w++
+			}
+		}
+		c.Edges = c.Edges[:w]
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Locks, "\x00") < strings.Join(out[j].Locks, "\x00")
+	})
+	return out
 }
 
 // Render formats the findings as deterministic human-readable text — the

@@ -470,6 +470,21 @@ func parseInstr(line string, pc int) (Instr, *pendingBranch, error) {
 			}
 			in.A = v
 		}
+	case SPAWN:
+		s, err := arg(1)
+		if err != nil {
+			return in, nil, err
+		}
+		// spawn METHOD [priority]  (priority defaults to 5, Java-style)
+		in.S = s
+		in.A = 5
+		if len(f) > 2 {
+			v, err := strconv.Atoi(f[2])
+			if err != nil {
+				return in, nil, err
+			}
+			in.A = v
+		}
 	}
 	return in, nil, nil
 }

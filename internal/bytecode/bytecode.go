@@ -107,6 +107,16 @@ const (
 	// SLEEP pops n and sleeps n virtual ticks. (n -- )
 	SLEEP
 
+	// SPAWN starts a new VM thread running method S at priority A
+	// (1..10, Java-style). The callee's arguments are popped from the
+	// stack (last on top) and become its initial locals, exactly as for
+	// INVOKE, but the callee runs on its own thread under the
+	// deterministic scheduler. Unlike the static `thread` declarations,
+	// SPAWN creates threads dynamically — possibly unboundedly many from
+	// a loop — which is what the behavioral deadlock pass models by
+	// contract unfolding. (a1..an -- )
+	SPAWN
+
 	// The rewriter injects the following; hand-written programs normally
 	// do not use them.
 
@@ -153,7 +163,7 @@ var opNames = map[Op]string{
 	ASTORE: "astore", MONITORENTER: "monitorenter", MONITOREXIT: "monitorexit",
 	WAIT: "wait", NOTIFY: "notify", NOTIFYALL: "notifyall", INVOKE: "invoke",
 	RETURN: "return", IRETURN: "ireturn", THROW: "throw", NATIVE: "native",
-	WORK: "work", SLEEP: "sleep", SAVESTACK: "savestack",
+	WORK: "work", SLEEP: "sleep", SPAWN: "spawn", SAVESTACK: "savestack",
 	RESTORESTACK: "restorestack", CHECKTARGET: "checktarget", RETHROW: "rethrow",
 	PUTFIELDRAW: "putfield.raw", PUTSTATICRAW: "putstatic.raw", ASTORERAW: "astore.raw",
 }
@@ -198,6 +208,8 @@ func (i Instr) String() string {
 		return fmt.Sprintf("%v %s", i.Op, i.S)
 	case NATIVE:
 		return fmt.Sprintf("native %s/%d", i.S, i.A)
+	case SPAWN:
+		return fmt.Sprintf("spawn %s prio=%d", i.S, i.A)
 	case SAVESTACK, RESTORESTACK:
 		return fmt.Sprintf("%v base=%d depth=%d", i.Op, i.A, i.V)
 	default:

@@ -279,6 +279,15 @@ func effect(p *Program, m *Method, pc int, in Instr, fail func(int, string, ...a
 		return in.A, 1, false, false, nil
 	case WORK, SLEEP:
 		return 1, 0, false, false, nil
+	case SPAWN:
+		callee, ok := p.Method(in.S)
+		if !ok {
+			return 0, 0, false, false, fail(pc, "spawn of unknown method %q", in.S)
+		}
+		if in.A < 1 || in.A > 10 {
+			return 0, 0, false, false, fail(pc, "spawn priority %d out of range", in.A)
+		}
+		return callee.Args, 0, false, false, nil
 	case SAVESTACK, RESTORESTACK:
 		if in.A < 0 || in.A+int(in.V) > m.Locals {
 			return 0, 0, false, false, fail(pc, "%v locals [%d,%d) out of range", in.Op, in.A, in.A+int(in.V))

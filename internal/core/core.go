@@ -165,6 +165,18 @@ type Config struct {
 	// check, the same contract as Race and Observer.
 	Profiler *prof.Profiler
 
+	// OnDeadlock, when non-nil, attaches the wait-for-graph observer:
+	// every contended blocking acquisition checks whether the new
+	// waits-for edge closes a cycle and, if so, reports it — counted in
+	// Stats.DeadlocksDetected, emitted as trace.DeadlockDetected, then
+	// passed to the callback with per-edge acquisition sites. Unlike
+	// DeadlockDetection the observer never breaks the cycle: the threads
+	// stay blocked and the scheduler's all-blocked diagnosis follows. It
+	// works in every mode and is the dynamic half of the deadlock
+	// cross-validation (rvmrun -deadlock). A nil OnDeadlock adds no cost:
+	// the check sits behind a nil test.
+	OnDeadlock func(cycle []DeadlockEdge)
+
 	// FIFOMonitorQueues disables the paper's prioritized monitor queues:
 	// monitors created by this runtime serve waiters in arrival order.
 	// Used by the queue-discipline ablation (the paper implemented
@@ -453,6 +465,16 @@ type Task struct {
 	// Per-task statistics.
 	rollbacks    int64
 	reexecutions int64
+
+	// lockMethod/lockPC name the bytecode site of the next monitor
+	// acquisition for the wait-for-graph observer (set by the interpreter
+	// via SetLockSite; empty for Go-level acquisitions).
+	lockMethod string
+	lockPC     int
+	// acqSites records, per currently-held monitor, the site that acquired
+	// it — populated only when Config.OnDeadlock is set, so the observer's
+	// cycle reports can name every edge's monitorenter.
+	acqSites map[*monitor.Monitor]string
 
 	// raceMethod/racePC name the bytecode site of the next barriered access
 	// for the race sanitizer (set by the interpreter via SetRaceSite; empty
@@ -887,6 +909,9 @@ func (t *Task) enter(m *monitor.Monitor) {
 			rt.boostChain(ownerTask, t.th.Priority())
 		}
 		rt.waiting[t] = m
+		if rt.cfg.OnDeadlock != nil {
+			rt.observeWFG(t, m)
+		}
 		if rt.cfg.DeadlockDetection && rt.cfg.Mode == Revocation {
 			rt.resolveDeadlock(t, m)
 			if t.revokeReq != nil { // self-victim
@@ -939,6 +964,12 @@ func (t *Task) enter(m *monitor.Monitor) {
 		attempts:  t.retryAttempts,
 	})
 	t.retryAttempts = 0
+	if rt.cfg.OnDeadlock != nil {
+		if t.acqSites == nil {
+			t.acqSites = make(map[*monitor.Monitor]string)
+		}
+		t.acqSites[m] = t.lockSite()
+	}
 	if d := rt.cfg.Race; d != nil {
 		if !reentrant {
 			d.Acquire(t.th.ID(), m)
@@ -1272,6 +1303,67 @@ func (rt *Runtime) resolveDeadlock(t *Task, m *monitor.Monitor) {
 type cycleEdge struct {
 	task  *Task
 	holds *monitor.Monitor
+}
+
+// DeadlockEdge is one member of a wait-for-graph cycle reported to the
+// Config.OnDeadlock observer: Task holds Holds (acquired at HoldSite, a
+// "method@pc" bytecode site) and is blocked trying to acquire WaitsFor at
+// WaitSite.
+type DeadlockEdge struct {
+	Task     string
+	Priority int
+	Holds    string
+	HoldSite string
+	WaitsFor string
+	WaitSite string
+}
+
+// lockSite renders the stamped bytecode site of the task's current monitor
+// operation for cycle reports.
+func (t *Task) lockSite() string {
+	if t.lockMethod == "" {
+		return "?"
+	}
+	return fmt.Sprintf("%s@%d", t.lockMethod, t.lockPC)
+}
+
+// observeWFG checks whether t blocking on m closes a waits-for cycle and,
+// if so, reports it to the Config.OnDeadlock observer. Unlike
+// resolveDeadlock it never picks a victim: the cycle is rendered with
+// per-edge acquisition sites and left intact, so the run ends in the
+// scheduler's all-blocked diagnosis. Called with rt.waiting[t] = m already
+// recorded.
+func (rt *Runtime) observeWFG(t *Task, m *monitor.Monitor) {
+	cycle := rt.findCycle(t, m)
+	if cycle == nil {
+		return
+	}
+	rt.stats.DeadlocksDetected++
+	names := make([]string, len(cycle))
+	for i, c := range cycle {
+		names[i] = fmt.Sprintf("%s->%s", c.task.Name(), c.holds.Name())
+	}
+	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.DeadlockDetected, Thread: t.Name(), Detail: fmt.Sprintf("%v", names)})
+
+	// cycle[i].task holds cycle[i].holds and waits for cycle[i+1].holds;
+	// the last member is t itself, closing the ring on cycle[0].holds = m.
+	edges := make([]DeadlockEdge, len(cycle))
+	for i, c := range cycle {
+		waits := cycle[(i+1)%len(cycle)].holds
+		hold := c.task.acqSites[c.holds]
+		if hold == "" {
+			hold = "?"
+		}
+		edges[i] = DeadlockEdge{
+			Task:     c.task.Name(),
+			Priority: int(c.task.Priority()),
+			Holds:    c.holds.Name(),
+			HoldSite: hold,
+			WaitsFor: waits.Name(),
+			WaitSite: c.task.lockSite(),
+		}
+	}
+	rt.cfg.OnDeadlock(edges)
 }
 
 // findCycle walks the waits-for chain starting at t blocked on m. It

@@ -125,6 +125,13 @@ func (t *Task) RegisterAllocArray(a *heap.Array) {
 // be needed.
 func (t *Task) CountRawStore() { t.rt.stats.RawStores++ }
 
+// SetLockSite names the bytecode site of the next monitor acquisition for
+// the wait-for-graph observer's cycle reports. The interpreter calls it
+// before each monitorenter when Config.OnDeadlock is set.
+func (t *Task) SetLockSite(method string, pc int) {
+	t.lockMethod, t.lockPC = method, pc
+}
+
 // ---------------------------------------------------------------------------
 // Race-sanitizer hooks (Config.Race != nil; all no-ops otherwise).
 

@@ -112,7 +112,17 @@ type Options struct {
 	// run with zero undo-log entries, and every allocation performed while
 	// logging is active gets a whole-allocation undo entry — the runtime
 	// support for stores elided by fresh-target proofs.
+	//
+	// A Facts value whose elisions are not all certificate-backed is
+	// rejected by NewEnv — the consumers trust certificates, not the raw
+	// fact fields (see analysis.VerifyCertificates).
 	Facts *analysis.Facts
+	// ElisionAudit, when non-nil, is called for every statically elided
+	// operation actually executed — each barrier-free RAW store and each
+	// dead-SAVESTACK no-op — with the certificate kind that licensed it.
+	// The certificate property test uses it to assert executed elisions ⊆
+	// certificates. A nil hook adds one predictable branch.
+	ElisionAudit func(kind analysis.CertKind, method string, pc int)
 }
 
 // Env is the shared execution environment: the program, the runtime, the
@@ -151,6 +161,15 @@ type Env struct {
 	// its pc and every call/return mirrors into the profiler's call tree.
 	profOn bool
 
+	// dlOn caches Config.OnDeadlock != nil: monitorenter sites then stamp
+	// their bytecode site on the task so wait-for-graph cycle reports can
+	// name each edge's acquisition pc.
+	dlOn bool
+
+	// spawnCount numbers dynamically spawned threads (SPAWN opcode) so
+	// their names are unique and deterministic.
+	spawnCount int
+
 	// Printed collects print output when Opts.Out is nil, for tests.
 	Printed []heap.Word
 }
@@ -177,6 +196,14 @@ func NewEnv(rt *core.Runtime, prog *bytecode.Program, opts Options) (*Env, error
 	if err := bytecode.Verify(prog); err != nil {
 		return nil, err
 	}
+	if opts.Facts != nil {
+		// Hard compile-time gate: every fact a consumer would act on must
+		// carry a machine-checked certificate. A tampered or stale Facts
+		// value fails here, before any code is compiled against it.
+		if err := opts.Facts.VerifyCertificates(); err != nil {
+			return nil, err
+		}
+	}
 	e := &Env{
 		RT:          rt,
 		Prog:        prog,
@@ -191,6 +218,7 @@ func NewEnv(rt *core.Runtime, prog *bytecode.Program, opts Options) (*Env, error
 		calls:       map[*bytecode.Method]int{},
 		raceOn:      rt.Config().Race != nil,
 		profOn:      rt.Config().Profiler != nil,
+		dlOn:        rt.Config().OnDeadlock != nil,
 	}
 	for _, s := range prog.Statics {
 		rt.Heap().DefineStatic(s.Name, s.Volatile, heap.Word(s.Init))
@@ -685,11 +713,17 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 		}
 		in.task.Work(in.env.RT.Config().CostWrite)
 		in.task.CountRawStore()
+		if audit := in.env.Opts.ElisionAudit; audit != nil {
+			audit(analysis.CertElideBarrier, f.m.Name, f.pc)
+		}
 		o.Set(instr.A, v)
 		in.task.RaceRawWriteField(o, instr.A)
 	case bytecode.PUTSTATICRAW:
 		in.task.Work(in.env.RT.Config().CostWrite)
 		in.task.CountRawStore()
+		if audit := in.env.Opts.ElisionAudit; audit != nil {
+			audit(analysis.CertElideBarrier, f.m.Name, f.pc)
+		}
 		in.env.RT.Heap().SetStatic(instr.A, f.pop())
 		in.task.RaceRawWriteStatic(instr.A)
 	case bytecode.ASTORERAW:
@@ -705,6 +739,9 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 		}
 		in.task.Work(in.env.RT.Config().CostWrite)
 		in.task.CountRawStore()
+		if audit := in.env.Opts.ElisionAudit; audit != nil {
+			audit(analysis.CertElideBarrier, f.m.Name, f.pc)
+		}
 		a.Set(int(idx), v)
 		in.task.RaceRawWriteElem(a, int(idx))
 
@@ -714,9 +751,16 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 			return
 		}
 		depth := in.task.EngineFrameDepth()
+		if in.env.dlOn {
+			in.task.SetLockSite(f.m.Name, f.pc)
+		}
 		in.task.EngineEnter(m)
 		if facts := in.env.Opts.Facts; facts != nil {
 			if s := facts.SectionAt(f.m.Name, f.pc); s != nil && s.NonRevocable {
+				if err := facts.RequireCert(f.m.Name, f.pc, analysis.CertNonRevocable); err != nil {
+					in.fail("%v", err)
+					return
+				}
 				in.task.PreMarkNonRevocable(s.ReasonSummary())
 			}
 		}
@@ -822,6 +866,25 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 		in.task.Work(simtime.Ticks(f.pop()))
 	case bytecode.SLEEP:
 		in.task.Sleep(simtime.Ticks(f.pop()))
+
+	case bytecode.SPAWN:
+		callee, ok := in.env.Prog.Method(instr.S)
+		if !ok {
+			in.fail("%s@%d: spawn of unknown method %q", f.m.Name, f.pc, instr.S)
+			return
+		}
+		args := make([]heap.Word, callee.Args)
+		for i := callee.Args - 1; i >= 0; i-- {
+			args[i] = f.pop()
+		}
+		in.env.spawnCount++
+		name := fmt.Sprintf("%s#%d", instr.S, in.env.spawnCount)
+		env := in.env
+		in.env.RT.Spawn(name, sched.Priority(instr.A), func(tk *core.Task) {
+			if _, err := env.Call(tk, callee, args); err != nil {
+				panic(fmt.Sprintf("interp: thread %s: %v", tk.Name(), err))
+			}
+		})
 
 	case bytecode.SAVESTACK:
 		d := int(instr.V)

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/heap"
 	"repro/internal/simtime"
@@ -85,7 +86,10 @@ func fusable(op bytecode.Op) bool {
 // their region's section is statically non-revocable, so no rollback can
 // ever target the region and the spill slots the SAVESTACK fills are only
 // read by the region's (unreachable) RESTORESTACK. The tick charge is
-// kept — the instruction still executes as a charge-only no-op.
+// kept — the instruction still executes as a charge-only no-op. Each
+// elision is a discharged proof obligation: a fact without a matching
+// dead-savestack certificate is never elided (and NewEnv already rejected
+// the fact set as a hard error).
 func (e *Env) elidedSavestacks(m *bytecode.Method) map[int]bool {
 	facts := e.Opts.Facts
 	if facts == nil || !e.Opts.Rewritten {
@@ -99,6 +103,9 @@ func (e *Env) elidedSavestacks(m *bytecode.Method) map[int]bool {
 		}
 		spc := r.EnterPC - 1
 		if spc < 0 || m.Code[spc].Op != bytecode.SAVESTACK {
+			continue
+		}
+		if facts.RequireCert(m.Name, spc, analysis.CertDeadSavestack) != nil {
 			continue
 		}
 		if dead == nil {
@@ -201,6 +208,7 @@ func (e *Env) fuse(m *bytecode.Method, start, end int, term opFunc, deadSaves ma
 	cost := e.Opts.CostPerInstr
 	mname := m.Name
 	profOn, raceOn := e.profOn, e.raceOn
+	audit := e.Opts.ElisionAudit
 	// The per-instruction cost is a compile-time constant; when it fits in
 	// one quantum (always, in practice) the run charges through the
 	// loop-free Step entry point.
@@ -223,6 +231,9 @@ func (e *Env) fuse(m *bytecode.Method, start, end int, term opFunc, deadSaves ma
 			}
 			switch op.op {
 			case bytecode.NOP:
+				if audit != nil && deadSaves[pc] {
+					audit(analysis.CertDeadSavestack, mname, pc)
+				}
 			case bytecode.CONST:
 				f.push(heap.Word(op.v))
 			case bytecode.LOAD:
@@ -421,6 +432,7 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 	case bytecode.PUTFIELDRAW:
 		idx := instr.A
 		costWrite := e.RT.Config().CostWrite
+		audit := e.Opts.ElisionAudit
 		return func(in *Interp, f *frame) {
 			head(in)
 			v := f.pop()
@@ -434,6 +446,9 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 			}
 			in.task.Work(costWrite)
 			in.task.CountRawStore()
+			if audit != nil {
+				audit(analysis.CertElideBarrier, mname, pc)
+			}
 			o.Set(idx, v)
 			in.task.RaceRawWriteField(o, idx)
 			f.pc = next
@@ -441,16 +456,21 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 	case bytecode.PUTSTATICRAW:
 		idx := instr.A
 		costWrite := e.RT.Config().CostWrite
+		audit := e.Opts.ElisionAudit
 		return func(in *Interp, f *frame) {
 			head(in)
 			in.task.Work(costWrite)
 			in.task.CountRawStore()
+			if audit != nil {
+				audit(analysis.CertElideBarrier, mname, pc)
+			}
 			in.env.RT.Heap().SetStatic(idx, f.pop())
 			in.task.RaceRawWriteStatic(idx)
 			f.pc = next
 		}
 	case bytecode.ASTORERAW:
 		costWrite := e.RT.Config().CostWrite
+		audit := e.Opts.ElisionAudit
 		return func(in *Interp, f *frame) {
 			head(in)
 			v := f.pop()
@@ -465,6 +485,9 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 			}
 			in.task.Work(costWrite)
 			in.task.CountRawStore()
+			if audit != nil {
+				audit(analysis.CertElideBarrier, mname, pc)
+			}
 			a.Set(int(idx), v)
 			in.task.RaceRawWriteElem(a, int(idx))
 			f.pc = next
@@ -582,16 +605,24 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 		// The section fact and region index are resolved at compile time;
 		// statically non-revocable sections take the specialized entry
 		// that skips the per-execution lookup chain and fuses the
-		// pre-mark into the enter.
+		// pre-mark into the enter. The specialization is a discharged
+		// proof obligation: a non-revocable fact without a matching
+		// certificate compiles to a hard error, never to a silent
+		// specialization.
 		regionIdx := e.regionIndex(m, pc)
 		rewritten := e.Opts.Rewritten
 		nonRev := false
 		var nonRevReason string
 		if facts := e.Opts.Facts; facts != nil {
 			if s := facts.SectionAt(mname, pc); s != nil && s.NonRevocable {
+				if err := facts.RequireCert(mname, pc, analysis.CertNonRevocable); err != nil {
+					certErr := err
+					return func(in *Interp, f *frame) { in.fail("%v", certErr) }
+				}
 				nonRev, nonRevReason = true, s.ReasonSummary()
 			}
 		}
+		dlOn := e.dlOn
 		return func(in *Interp, f *frame) {
 			head(in)
 			mon, ok := in.monitorFor(f.pop())
@@ -599,6 +630,9 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 				return
 			}
 			depth := in.task.EngineFrameDepth()
+			if dlOn {
+				in.task.SetLockSite(mname, pc)
+			}
 			if nonRev {
 				in.task.EngineEnterNonRevocable(mon, nonRevReason)
 			} else {

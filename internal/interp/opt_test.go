@@ -107,18 +107,11 @@ func runExampleTier(t *testing.T, src string, tier Tier) tierFinalState {
 // compile-time fact specialization and dead-SAVESTACK elision must be
 // invisible to everything but wall-clock time.
 func TestTierEquivalenceAllExamples(t *testing.T) {
-	var srcs []string
-	for _, dir := range []string{"bytecode", "racy"} {
-		matches, err := filepath.Glob(filepath.Join("..", "..", "examples", dir, "*.rvm"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		srcs = append(srcs, matches...)
-	}
-	if len(srcs) < 5 {
-		t.Fatalf("found only %d example programs: %v", len(srcs), srcs)
-	}
-	for _, src := range srcs {
+	// exampleSources includes the deadlocking corpus: those runs form a
+	// real wait-for cycle, the VM's detector revokes a certified section,
+	// and the rolled-back heaps must still fingerprint identically across
+	// tiers.
+	for _, src := range exampleSources(t) {
 		src := src
 		t.Run(filepath.Base(src), func(t *testing.T) {
 			base := runExampleTier(t, src, TierExec)

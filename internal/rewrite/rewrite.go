@@ -373,23 +373,33 @@ func ApplyElision(p *bytecode.Program, a *BarrierAnalysis) int {
 // proofs rely on the runtime logging allocations, so a program elided this
 // way must run with interp.Options.Facts set to the same facts. It returns
 // the number of stores rewritten.
+//
+// Each elision is a discharged proof obligation: a store is rewritten only
+// when the facts carry a matching elide-barrier certificate, not on the
+// strength of the elidable bit alone. A fact set with undischarged
+// obligations keeps its barriers here and is rejected outright by
+// interp.NewEnv (analysis.Facts.VerifyCertificates).
 func ApplyStaticElision(p *bytecode.Program, facts *analysis.Facts) int {
 	n := 0
+	certified := func(m string, pc int) bool {
+		return facts.ElidableStore(m, pc) &&
+			facts.RequireCert(m, pc, analysis.CertElideBarrier) == nil
+	}
 	for _, m := range p.Methods {
 		for i := range m.Code {
 			switch m.Code[i].Op {
 			case bytecode.PUTFIELD:
-				if facts.ElidableStore(m.Name, i) {
+				if certified(m.Name, i) {
 					m.Code[i].Op = bytecode.PUTFIELDRAW
 					n++
 				}
 			case bytecode.PUTSTATIC:
-				if facts.ElidableStore(m.Name, i) {
+				if certified(m.Name, i) {
 					m.Code[i].Op = bytecode.PUTSTATICRAW
 					n++
 				}
 			case bytecode.ASTORE:
-				if facts.ElidableStore(m.Name, i) {
+				if certified(m.Name, i) {
 					m.Code[i].Op = bytecode.ASTORERAW
 					n++
 				}
