@@ -213,6 +213,22 @@ func BenchmarkElidedWriteBarrier(b *testing.B) {
 	bench.ElidedWriteBarrierBench(b)
 }
 
+// BenchmarkFlightRecorderAppend measures one steady-state flight-recorder
+// Emit — the per-event price of always-on recording. The bench gate holds
+// this under regression; the absolute budget (<50 ns/op, 0 allocs) is
+// pinned by TestFlightRecorderAppendBudget in internal/bench.
+func BenchmarkFlightRecorderAppend(b *testing.B) {
+	bench.FlightRecorderAppendBench(b)
+}
+
+// BenchmarkFlightRecorderCell runs the same contended 2+8 cell with the
+// flight recorder detached and attached; the off/on delta is the
+// recorder's whole-run overhead.
+func BenchmarkFlightRecorderCell(b *testing.B) {
+	b.Run("off", bench.FlightRecorderCellBench(false))
+	b.Run("on", bench.FlightRecorderCellBench(true))
+}
+
 // BenchmarkTierDispatch compares threaded-closure dispatch against fused
 // superinstruction dispatch on workloads whose hot methods cross the
 // tier-3 promotion threshold.

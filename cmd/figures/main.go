@@ -10,6 +10,7 @@
 //	figures [-figure N|all] [-scale small|medium|paper] [-csv dir] [-summary] [-v]
 //	figures -json results/BENCH_2026-08-05.json [-label NAME]
 //	figures -gate results [-gate-json out.json] [-gate-threshold PCT]
+//	figures -fleet [-fleet-json out.json] INPUT...
 //
 // Examples:
 //
@@ -22,6 +23,11 @@
 // testing.Benchmark and its ns/op, B/op and allocs/op are APPENDED to the
 // JSON array in the given file — run it before and after a change to record
 // a before/after pair in one results/BENCH_<date>.json.
+//
+// With -fleet, the positional arguments are flight-recorder dumps (.rvmfr)
+// and/or BENCH_*.json trajectory files; their latency distributions are
+// merged into one p50/p99/p99.9 fleet SLO report (same engine as `rvmfr
+// merge`).
 package main
 
 import (
@@ -33,23 +39,31 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fr"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure number (5-8) or \"all\"")
-		scale   = flag.String("scale", "small", "run scale: small, medium or paper")
-		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
-		summary = flag.Bool("summary", true, "print the headline-claims comparison (requires all figures)")
-		verbose = flag.Bool("v", false, "print per-cell progress")
-		cell    = flag.String("cell", "", "run one cell instead: \"HIGH+LOW@WRITES%\", e.g. \"2+8@40\" (uses -figure for the variant)")
-		jsonOut = flag.String("json", "", "append wall-clock benchmark results to this JSON file instead of rendering figures")
-		label   = flag.String("label", "current", "label recorded with -json results")
-		gateDir = flag.String("gate", "", "bench-regression gate: compare key ns/op against the newest BENCH_*.json in this directory, exit 1 on regression")
-		gateOut = flag.String("gate-json", "", "with -gate, also write the fresh gate measurements to this JSON file (the CI artifact)")
-		gatePct = flag.Float64("gate-threshold", 20, "with -gate, regression threshold in percent")
+		figure   = flag.String("figure", "all", "figure number (5-8) or \"all\"")
+		scale    = flag.String("scale", "small", "run scale: small, medium or paper")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		summary  = flag.Bool("summary", true, "print the headline-claims comparison (requires all figures)")
+		verbose  = flag.Bool("v", false, "print per-cell progress")
+		cell     = flag.String("cell", "", "run one cell instead: \"HIGH+LOW@WRITES%\", e.g. \"2+8@40\" (uses -figure for the variant)")
+		jsonOut  = flag.String("json", "", "append wall-clock benchmark results to this JSON file instead of rendering figures")
+		label    = flag.String("label", "current", "label recorded with -json results")
+		gateDir  = flag.String("gate", "", "bench-regression gate: compare key ns/op against the newest BENCH_*.json in this directory, exit 1 on regression")
+		gateOut  = flag.String("gate-json", "", "with -gate, also write the fresh gate measurements to this JSON file (the CI artifact)")
+		gatePct  = flag.Float64("gate-threshold", 20, "with -gate, regression threshold in percent")
+		fleet    = flag.Bool("fleet", false, "merge flight-recorder dumps and BENCH_*.json files (positional args) into a fleet SLO report")
+		fleetOut = flag.String("fleet-json", "", "with -fleet, also write the merged report as JSON to this file")
 	)
 	flag.Parse()
+
+	if *fleet {
+		runFleet(flag.Args(), *fleetOut)
+		return
+	}
 
 	if *gateDir != "" {
 		runGate(*gateDir, *gateOut, *label, *gatePct)
@@ -245,6 +259,33 @@ func runGate(dir, outPath, label string, thresholdPct float64) {
 	}
 	fmt.Fprintf(os.Stderr, "bench gate passed: %d benchmarks within %.0f%% of %s (label %q, %s)\n",
 		len(g.Entries), thresholdPct, g.BaselinePath, g.BaselineLabel, g.BaselineDate)
+}
+
+// runFleet merges dumps and BENCH trajectory files into the fleet SLO
+// report — the aggregation half of the fleet harness (ROADMAP item 3).
+func runFleet(inputs []string, outPath string) {
+	if len(inputs) == 0 {
+		fatal(fmt.Errorf("-fleet needs at least one .rvmfr dump or BENCH_*.json file"))
+	}
+	rep, err := fr.MergeFleet(inputs)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Render(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = rep.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote fleet SLO report to %s\n", outPath)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fr"
+)
+
+func TestFRDumpPath(t *testing.T) {
+	mk := func(reason string, seq int) *fr.Dump {
+		return &fr.Dump{Meta: fr.Meta{Reason: reason, Seq: seq}}
+	}
+	cases := []struct {
+		outSpec, program string
+		dump             *fr.Dump
+		want             string
+	}{
+		{"", "examples/deadlock2/deadlock2.rvm", mk("deadlock", 1), "deadlock2-deadlock-1.rvmfr"},
+		{"", "prog.rvm", mk("storm", 2), "prog-storm-2.rvmfr"},
+		{"out.rvmfr", "prog.rvm", mk("deadlock", 1), "out.rvmfr"},
+		{"out.rvmfr", "prog.rvm", mk("race", 3), "out.3.rvmfr"},
+		{"dumps", "prog.rvm", mk("exit", 1), filepath.Join("dumps", "prog-exit-1.rvmfr")},
+	}
+	for _, c := range cases {
+		if got := frDumpPath(c.outSpec, c.program, c.dump); got != c.want {
+			t.Errorf("frDumpPath(%q, %q, %s/%d) = %q, want %q",
+				c.outSpec, c.program, c.dump.Meta.Reason, c.dump.Meta.Seq, got, c.want)
+		}
+	}
+}

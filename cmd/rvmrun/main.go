@@ -28,9 +28,20 @@
 // profiles and Prometheus text metrics live while the VM runs
 // (/debug/pprof/, /metrics); add -http-wait to keep serving after the run
 // until interrupted.
+//
+// Flight recorder: -fr attaches the always-on black-box recorder
+// (internal/fr) — every event goes into a bounded binary ring, and an
+// anomaly (deadlock cycle, committed race, rollback storm, latency breach;
+// select with -fr-dump-on) snapshots the ring together with stats, metrics
+// and the profiler digest into a self-contained .rvmfr dump (inspect with
+// cmd/rvmfr). -fr-size bounds the ring; -fr-out names the dump file or
+// directory. With -http, /debug/fr serves an on-demand dump of the live
+// ring. -stats-json FILE writes the final core.Stats as machine-readable
+// JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +55,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/fr"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -79,6 +91,12 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve live /metrics and /debug/pprof/ profiles on ADDR (e.g. :8080)")
 		httpWait   = flag.Bool("http-wait", false, "with -http: keep serving after the run until interrupted")
 		switchCost = flag.Int64("switch-cost", 0, "context-switch cost in ticks (shows up in the sched profile)")
+
+		frEnable  = flag.Bool("fr", false, "attach the always-on flight recorder (bounded binary event ring, anomaly-triggered .rvmfr dumps)")
+		frSize    = flag.Int("fr-size", fr.DefaultSize, "flight recorder ring capacity in bytes")
+		frDumpOn  = flag.String("fr-dump-on", "", "flight recorder triggers: comma list of deadlock, race, storm[=N@WINDOW], latency=TICKS, exit, or none (default deadlock,race,storm)")
+		frOut     = flag.String("fr-out", "", "flight recorder dump file (*.rvmfr) or directory (default: <program>-<reason>-<seq>.rvmfr in the working directory)")
+		statsJSON = flag.String("stats-json", "", "write final runtime statistics as JSON to FILE (- for stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -205,6 +223,69 @@ func main() {
 		observer = obs.NewObserver()
 		obsSinks = append(obsSinks, observer)
 	}
+	var profiler *prof.Profiler
+	if *profileDir != "" || *httpAddr != "" {
+		profiler = prof.New()
+	}
+
+	// Flight recorder: always-on binary ring on Config.Observer. The
+	// StatsJSON/ProfileJSON providers close over rtRef, set once the runtime
+	// exists — trigger dumps fire on the VM goroutine, where reading Stats
+	// is safe. (/debug/fr dumps taken while the VM still runs may catch the
+	// counters mid-update; they are diagnostics, not accounting.)
+	var (
+		recorder *fr.Recorder
+		syncRec  *fr.SyncRecorder
+		frTrig   fr.TriggerSpec
+		rtRef    *core.Runtime
+	)
+	if *frEnable || *frOut != "" || *frDumpOn != "" {
+		frTrig, err = fr.ParseTriggers(*frDumpOn)
+		if err != nil {
+			fatal(err)
+		}
+		frCfg := fr.Config{
+			Size:     *frSize,
+			Triggers: frTrig,
+			Program:  flag.Arg(0),
+			VM:       *vmMode,
+			StatsJSON: func() []byte {
+				if rtRef == nil {
+					return nil
+				}
+				b, err := json.Marshal(rtRef.Stats())
+				if err != nil {
+					return nil
+				}
+				return b
+			},
+		}
+		if profiler != nil {
+			p := profiler
+			frCfg.ProfileJSON = func() []byte {
+				b, err := json.Marshal(p.Snapshot().Digest(10))
+				if err != nil {
+					return nil
+				}
+				return b
+			}
+		}
+		frCfg.OnDump = func(d *fr.Dump) {
+			if err := writeFRDump(*frOut, flag.Arg(0), d); err != nil {
+				fmt.Fprintln(os.Stderr, "rvmrun: flight recorder:", err)
+			}
+		}
+		recorder = fr.New(frCfg)
+		if *httpAddr != "" {
+			// /debug/fr snapshots from a foreign goroutine: wrap in the
+			// mutex variant, same pattern as the SyncObserver.
+			syncRec = fr.NewSync(recorder)
+			obsSinks = append(obsSinks, syncRec)
+		} else {
+			obsSinks = append(obsSinks, recorder)
+		}
+	}
+
 	var obsSink trace.Sink
 	switch len(obsSinks) {
 	case 0:
@@ -214,13 +295,9 @@ func main() {
 		obsSink = obsSinks
 	}
 
-	var profiler *prof.Profiler
-	if *profileDir != "" || *httpAddr != "" {
-		profiler = prof.New()
-	}
 	var srvDone func()
 	if *httpAddr != "" {
-		srvDone, err = serveHTTP(*httpAddr, profiler, syncObs, *httpWait)
+		srvDone, err = serveHTTP(*httpAddr, profiler, syncObs, syncRec, *httpWait)
 		if err != nil {
 			fatal(err)
 		}
@@ -255,6 +332,7 @@ func main() {
 		}
 	}
 	rt := core.New(cfg)
+	rtRef = rt
 	env, runErr := interp.Run(rt, prog, interp.Options{
 		Rewritten: *doRewrite,
 		Tier:      tier,
@@ -305,6 +383,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	if recorder != nil && frTrig.Exit {
+		// Unconditional end-of-run capture; the VM has stopped emitting, so
+		// the plain recorder is safe even when a SyncRecorder wrapped it.
+		d, err := recorder.Snapshot(fr.ReasonExit)
+		if err == nil {
+			err = writeFRDump(*frOut, flag.Arg(0), d)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("flight recorder: %w", err))
+		}
+	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(rt, *statsJSON); err != nil {
+			fatal(err)
+		}
+	}
 	if err := finishExports(traceFile, jsonl, observer, *traceFormat); err != nil {
 		fatal(err)
 	}
@@ -350,10 +444,12 @@ func renderDeadlockCycles(cycles [][]core.DeadlockEdge) string {
 	return b.String()
 }
 
-// serveHTTP starts the live profiling endpoint. The returned function is
-// called after the run: it either closes the listener, or (wait) keeps
-// serving until the process is interrupted.
-func serveHTTP(addr string, p *prof.Profiler, so *obs.SyncObserver, wait bool) (func(), error) {
+// serveHTTP starts the live profiling endpoint. With a recorder attached,
+// /debug/fr additionally serves an on-demand flight-recorder dump of the
+// live ring. The returned function is called after the run: it either
+// closes the listener, or (wait) keeps serving until the process is
+// interrupted.
+func serveHTTP(addr string, p *prof.Profiler, so *obs.SyncObserver, sr *fr.SyncRecorder, wait bool) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -364,7 +460,21 @@ func serveHTTP(addr string, p *prof.Profiler, so *obs.SyncObserver, wait bool) (
 			obs.WritePrometheus(w, so.MetricsSummary())
 		}
 	}
-	srv := &http.Server{Handler: prof.Handler(p, extra)}
+	mux := http.NewServeMux()
+	if sr != nil {
+		mux.HandleFunc("/debug/fr", func(w http.ResponseWriter, r *http.Request) {
+			d, err := sr.Snapshot(fr.ReasonManual)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="dump.rvmfr"`)
+			fr.WriteDump(w, d)
+		})
+	}
+	mux.Handle("/", prof.Handler(p, extra))
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	fmt.Fprintf(os.Stderr, "rvmrun: serving live metrics and profiles on http://%s/\n", ln.Addr())
 	return func() {
@@ -461,6 +571,66 @@ func writeMetrics(o *obs.Observer, format, path string) error {
 		err = cerr
 	}
 	return err
+}
+
+// frDumpPath resolves where a flight-recorder dump lands. An empty outSpec
+// names the dump after the program, reason and sequence number in the
+// working directory; a *.rvmfr outSpec is used verbatim for the first dump
+// (sequence-suffixed after that); anything else is a directory.
+func frDumpPath(outSpec, program string, d *fr.Dump) string {
+	base := strings.TrimSuffix(filepath.Base(program), filepath.Ext(program))
+	name := fmt.Sprintf("%s-%s-%d.rvmfr", base, d.Meta.Reason, d.Meta.Seq)
+	switch {
+	case outSpec == "":
+		return name
+	case strings.HasSuffix(outSpec, ".rvmfr"):
+		if d.Meta.Seq <= 1 {
+			return outSpec
+		}
+		return fmt.Sprintf("%s.%d.rvmfr", strings.TrimSuffix(outSpec, ".rvmfr"), d.Meta.Seq)
+	default:
+		return filepath.Join(outSpec, name)
+	}
+}
+
+// writeFRDump serializes one dump to its resolved path.
+func writeFRDump(outSpec, program string, d *fr.Dump) error {
+	path := frDumpPath(outSpec, program, d)
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fr.WriteDump(f, d)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rvmrun: flight recorder dump (%s, %d events%s) written to %s\n",
+		d.Meta.Reason, len(d.Events),
+		map[bool]string{true: fmt.Sprintf(", %d lost", d.Lost), false: ""}[d.Truncated],
+		path)
+	return nil
+}
+
+// writeStatsJSON emits the final core.Stats as JSON ("-" for stdout).
+func writeStatsJSON(rt *core.Runtime, path string) error {
+	data, err := json.MarshalIndent(rt.Stats(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // createOut opens FILE for writing; "-" selects stdout (not closed).

@@ -9,6 +9,12 @@
 // traces so a schema drift (renamed kind, missing meta field) fails the
 // build instead of silently breaking downstream consumers.
 //
+// Streams converted from a wrapped flight-recorder ring (`rvmfr jsonl`)
+// declare in their meta line that a prefix was overwritten. On such a
+// stream, dropped events are expected — they join into the missing prefix —
+// so -strict reports but tolerates them; on a complete stream they still
+// fail.
+//
 // Usage:
 //
 //	tracecheck [-strict] FILE...   validate each file, report event and
@@ -16,7 +22,7 @@
 //	tracecheck [-strict] -         validate standard input
 //
 // Exit status is 0 when every input validates, 1 otherwise. With -strict,
-// dropped events also fail the run.
+// dropped events also fail the run (unless the stream declares truncation).
 package main
 
 import (
@@ -61,7 +67,7 @@ func check(out io.Writer, path string, strict bool) error {
 		defer f.Close()
 		r = f
 	}
-	events, err := obs.ParseJSONL(r)
+	events, info, err := obs.ParseJSONLInfo(r)
 	if err != nil {
 		return err
 	}
@@ -69,9 +75,13 @@ func check(out io.Writer, path string, strict bool) error {
 	for _, e := range events {
 		o.Emit(e)
 	}
-	fmt.Fprintf(out, "%s: ok (schema v%d, %d events, %d dropped)\n",
-		path, obs.SchemaVersion, len(events), o.Dropped())
-	if strict && o.Dropped() > 0 {
+	note := ""
+	if info.Truncated {
+		note = fmt.Sprintf(", truncated: %d lost before stream start", info.Lost)
+	}
+	fmt.Fprintf(out, "%s: ok (schema v%d, %d events, %d dropped%s)\n",
+		path, obs.SchemaVersion, len(events), o.Dropped(), note)
+	if strict && o.Dropped() > 0 && !info.Truncated {
 		return fmt.Errorf("%d events dropped as unjoinable (-strict)", o.Dropped())
 	}
 	return nil

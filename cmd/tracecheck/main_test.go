@@ -88,3 +88,31 @@ func TestRunStrictDropped(t *testing.T) {
 		t.Errorf("strict failure not explained: %q", errw.String())
 	}
 }
+
+// TestRunStrictToleratesDeclaredTruncation pins the flight-recorder
+// contract: the same unjoinable stream passes -strict when its meta line
+// declares a truncated (ring-wrapped) prefix, because the drops are
+// attributable to the overwritten events rather than to schema damage.
+func TestRunStrictToleratesDeclaredTruncation(t *testing.T) {
+	dir := t.TempDir()
+	truncated := filepath.Join(dir, "truncated.jsonl")
+	f, err := os.Create(truncated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewJSONLWriterInfo(f, obs.StreamInfo{Truncated: true, Lost: 12})
+	// A wait-end whose start was overwritten: unjoinable, hence dropped.
+	w.Emit(trace.Event{At: 7, Kind: trace.WaitEnd, Thread: "T", Object: "M"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{truncated}, true); code != 0 {
+		t.Fatalf("declared-truncated stream with -strict: exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "truncated: 12 lost") {
+		t.Errorf("truncation not surfaced: %q", out.String())
+	}
+}

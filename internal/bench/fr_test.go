@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/fr"
+)
+
+// TestFlightRecorderAppendBudget pins the recorder's headline contract: a
+// steady-state append stays allocation-free and under 50 ns. The
+// allocation bound is exact (the Go allocator is deterministic); the
+// timing bound takes the best of five runs so scheduler noise on shared
+// CI machines — including the parallel packages of a full `go test ./...`
+// competing for cores — cannot fail a healthy build.
+func TestFlightRecorderAppendBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing budget under -short")
+	}
+	const budgetNs = 50.0
+	best := measure("FlightRecorderAppend", FlightRecorderAppendBench)
+	for rep := 1; rep < 5; rep++ {
+		if r := measure("FlightRecorderAppend", FlightRecorderAppendBench); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	if best.AllocsPerOp != 0 {
+		t.Errorf("steady-state append allocates: %d allocs/op (%d B/op)", best.AllocsPerOp, best.BytesPerOp)
+	}
+	if best.NsPerOp >= budgetNs {
+		t.Errorf("steady-state append too slow: %.1f ns/op, budget %.0f", best.NsPerOp, budgetNs)
+	}
+}
+
+// TestFlightRecorderCellNonPerturbing runs the contended 2+8 cell bare and
+// with the recorder attached: virtual-time results must be identical (the
+// recorder is a pure observer) and the ring must actually hold the run's
+// tail. This is the correctness half of the off/on overhead pair.
+func TestFlightRecorderCellNonPerturbing(t *testing.T) {
+	p := CellParams(ScaleSmall, true, Mix{High: 2, Low: 8}, 40)
+	bare, err := runCell(Modified, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := fr.New(fr.Config{Triggers: fr.DefaultTriggers()})
+	observed, err := runCell(Modified, p, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.HighSpan != observed.HighSpan || bare.OverallSpan != observed.OverallSpan || bare.Stats != observed.Stats {
+		t.Errorf("recorder perturbed the cell:\nbare     %+v\nobserved %+v", bare, observed)
+	}
+	if rec.Len() == 0 {
+		t.Error("recorder captured no events")
+	}
+	events, err := rec.Events()
+	if err != nil {
+		t.Fatalf("ring decode: %v", err)
+	}
+	if len(events) != rec.Len() {
+		t.Errorf("decoded %d events, ring reports %d", len(events), rec.Len())
+	}
+}

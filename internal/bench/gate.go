@@ -27,8 +27,9 @@ type KeyBench struct {
 }
 
 // KeyBenches returns the ns/op series the regression gate guards: the
-// write-barrier fast paths, the compact lock word's uncontended
-// operations, and the execution-tier dispatch comparison. The
+// write-barrier fast paths, the flight recorder's steady-state append, the
+// compact lock word's uncontended operations, and the execution-tier
+// dispatch comparison. The
 // "nonrevocable" monitor variant is recorded in reports but NOT gated:
 // it allocates per operation, so GC timing swings it far past any
 // useful threshold on shared CI machines.
@@ -36,6 +37,7 @@ func KeyBenches() []KeyBench {
 	kb := []KeyBench{
 		{"WriteBarrier", WriteBarrierBench},
 		{"ElidedWriteBarrier", ElidedWriteBarrierBench},
+		{"FlightRecorderAppend", FlightRecorderAppendBench},
 	}
 	for _, v := range []string{"thin", "inflated"} {
 		kb = append(kb, KeyBench{"MonitorEnterUncontended/" + v, MonitorEnterUncontendedBench(v)})

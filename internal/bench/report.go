@@ -92,6 +92,13 @@ func RunReport(label, date string, progress func(BenchResult), latProgress func(
 	add(measure("Rollback", RollbackBench))
 	add(measure("ElidedWriteBarrier", ElidedWriteBarrierBench))
 
+	// Flight recorder: the per-event append cost and the whole-cell
+	// off/on pair, so every report records the overhead of always-on
+	// recording alongside the figures it would capture.
+	add(measure("FlightRecorderAppend", FlightRecorderAppendBench))
+	add(measure("FlightRecorderCell/off", FlightRecorderCellBench(false)))
+	add(measure("FlightRecorderCell/on", FlightRecorderCellBench(true)))
+
 	// Compact lock word: uncontended enter/exit per variant.
 	for _, v := range MonitorVariants {
 		add(measure("MonitorEnterUncontended/"+v, MonitorEnterUncontendedBench(v)))

@@ -225,35 +225,35 @@ func (c *Config) fill() {
 // Stats aggregates runtime-wide counters; the evaluation harness reports
 // them next to elapsed times.
 type Stats struct {
-	Inversions         int64 // priority inversions detected
-	RevocationRequests int64 // revocations requested
-	RevocationsDenied  int64 // denied because the section was non-revocable
-	Rollbacks          int64 // sections actually rolled back
-	Reexecutions       int64 // section retries after rollback
-	EntriesLogged      int64 // write-barrier slow paths taken
-	EntriesUndone      int64 // locations restored by rollbacks
-	WastedTicks        simtime.Ticks
-	PreemptedGrants    int64 // handed-over-but-unentered grants revoked
-	DeadlocksDetected  int64
-	DeadlocksBroken    int64
-	Dependencies       int64 // §2.2 read-write dependencies observed
-	NonRevocableMarks  int64
-	ContextSwitches    int64
-	BarrierFastPaths   int64 // non-logging stores (outside sections or Unmodified)
-	StoresDeduped      int64 // in-section stores skipped by first-write-wins logging
-	StaticPreMarks     int64 // monitors pre-marked non-revocable by static analysis
-	AllocsLogged       int64 // whole-allocation undo entries (static elision support)
-	RawStores          int64 // statically elided stores executed barrier-free
+	Inversions         int64         `json:"inversions"`          // priority inversions detected
+	RevocationRequests int64         `json:"revocation_requests"` // revocations requested
+	RevocationsDenied  int64         `json:"revocations_denied"`  // denied because the section was non-revocable
+	Rollbacks          int64         `json:"rollbacks"`           // sections actually rolled back
+	Reexecutions       int64         `json:"reexecutions"`        // section retries after rollback
+	EntriesLogged      int64         `json:"entries_logged"`      // write-barrier slow paths taken
+	EntriesUndone      int64         `json:"entries_undone"`      // locations restored by rollbacks
+	WastedTicks        simtime.Ticks `json:"wasted_ticks"`
+	PreemptedGrants    int64         `json:"preempted_grants"` // handed-over-but-unentered grants revoked
+	DeadlocksDetected  int64         `json:"deadlocks_detected"`
+	DeadlocksBroken    int64         `json:"deadlocks_broken"`
+	Dependencies       int64         `json:"dependencies"` // §2.2 read-write dependencies observed
+	NonRevocableMarks  int64         `json:"non_revocable_marks"`
+	ContextSwitches    int64         `json:"context_switches"`
+	BarrierFastPaths   int64         `json:"barrier_fast_paths"` // non-logging stores (outside sections or Unmodified)
+	StoresDeduped      int64         `json:"stores_deduped"`     // in-section stores skipped by first-write-wins logging
+	StaticPreMarks     int64         `json:"static_premarks"`    // monitors pre-marked non-revocable by static analysis
+	AllocsLogged       int64         `json:"allocs_logged"`      // whole-allocation undo entries (static elision support)
+	RawStores          int64         `json:"raw_stores"`         // statically elided stores executed barrier-free
 
 	// Compact lock word (internal/monitor).
-	ThinAcquisitions int64 // ownership transfers on the thin fast path
-	Inflations       int64 // thin → full-monitor transitions
-	Deflations       int64 // uncontended releases that collapsed back to thin
+	ThinAcquisitions int64 `json:"thin_acquisitions"` // ownership transfers on the thin fast path
+	Inflations       int64 `json:"inflations"`        // thin → full-monitor transitions
+	Deflations       int64 `json:"deflations"`        // uncontended releases that collapsed back to thin
 
 	// Dynamic race sanitizer (Config.Race != nil).
-	RacesDetected         int64 // confirmed reports emitted
-	RaceReportsRetracted  int64 // pending reports dropped because an endpoint rolled back
-	RaceAccessesRetracted int64 // access records retracted by rollbacks
+	RacesDetected         int64 `json:"races_detected"`          // confirmed reports emitted
+	RaceReportsRetracted  int64 `json:"race_reports_retracted"`  // pending reports dropped because an endpoint rolled back
+	RaceAccessesRetracted int64 `json:"race_accesses_retracted"` // access records retracted by rollbacks
 }
 
 // Runtime hosts a simulated VM instance.

@@ -1,0 +1,130 @@
+package fr
+
+import "encoding/binary"
+
+// ring is a bounded circular byte buffer of length-prefixed records — the
+// flight recorder's backing store. Each record is a uvarint payload length
+// followed by the payload bytes; when an append does not fit, whole oldest
+// records are evicted (counted in lost) until it does, so the ring always
+// holds a contiguous suffix of the emitted stream. All operations are
+// allocation-free: the buffer is sized once at construction.
+type ring struct {
+	buf   []byte
+	head  int    // offset of the oldest record's length prefix
+	size  int    // bytes in use
+	count int    // records stored
+	lost  uint64 // records evicted by wrap (or individually too large)
+}
+
+func newRing(capacity int) *ring {
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &ring{buf: make([]byte, capacity)}
+}
+
+// wrap folds an offset in [0, 2*len) back into the buffer. Every position
+// the ring computes is a sum of two in-range values, so a single
+// conditional subtraction replaces the integer modulo the hot append path
+// would otherwise pay several times per record.
+func (g *ring) wrap(i int) int {
+	if i >= len(g.buf) {
+		i -= len(g.buf)
+	}
+	return i
+}
+
+// append stores one record, evicting the oldest records until it fits. A
+// payload larger than the whole ring is counted lost and dropped — it
+// could never coexist with any other record anyway.
+func (g *ring) append(payload []byte) {
+	var pfx [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pfx[:], uint64(len(payload)))
+	need := n + len(payload)
+	if need > len(g.buf) {
+		g.lost++
+		return
+	}
+	for len(g.buf)-g.size < need {
+		g.evict()
+	}
+	tail := g.wrap(g.head + g.size)
+	tail = g.copyAt(tail, pfx[:n])
+	g.copyAt(tail, payload)
+	g.size += need
+	g.count++
+}
+
+// evict drops the oldest record.
+func (g *ring) evict() {
+	plen, n := g.uvarintAt(g.head)
+	adv := n + int(plen)
+	g.head = g.wrap(g.head + adv)
+	g.size -= adv
+	g.count--
+	g.lost++
+}
+
+// copyAt writes p into the buffer starting at pos, wrapping as needed, and
+// returns the position one past the last byte written.
+func (g *ring) copyAt(pos int, p []byte) int {
+	n := copy(g.buf[pos:], p)
+	if n < len(p) {
+		copy(g.buf, p[n:])
+	}
+	return g.wrap(pos + len(p))
+}
+
+// uvarintAt decodes a uvarint at pos with wraparound, returning the value
+// and the number of bytes it occupied.
+func (g *ring) uvarintAt(pos int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b := g.buf[g.wrap(pos+i)]
+		if b < 0x80 {
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+}
+
+// snapshot calls fn with each stored record's payload, oldest first. The
+// payload slice is only valid for the duration of the call: records that
+// wrap are linearized through scratch, which is grown once and reused.
+func (g *ring) snapshot(scratch []byte, fn func(payload []byte) error) ([]byte, error) {
+	pos := g.head
+	for i := 0; i < g.count; i++ {
+		plen, n := g.uvarintAt(pos)
+		pos = (pos + n) % len(g.buf)
+		var payload []byte
+		if pos+int(plen) <= len(g.buf) {
+			payload = g.buf[pos : pos+int(plen)]
+		} else {
+			if cap(scratch) < int(plen) {
+				scratch = make([]byte, int(plen))
+			}
+			scratch = scratch[:plen]
+			n := copy(scratch, g.buf[pos:])
+			copy(scratch[n:], g.buf)
+			payload = scratch
+		}
+		if err := fn(payload); err != nil {
+			return scratch, err
+		}
+		pos = (pos + int(plen)) % len(g.buf)
+	}
+	return scratch, nil
+}
+
+// linearize returns a fresh contiguous copy of every stored record
+// (prefix + payload), oldest first — the events section of a dump.
+func (g *ring) linearize() []byte {
+	out := make([]byte, g.size)
+	n := copy(out, g.buf[g.head:])
+	if n < g.size {
+		copy(out[n:], g.buf[:g.size-n])
+	}
+	return out[:g.size]
+}

@@ -1,0 +1,143 @@
+package fr
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// collect decodes every payload currently in the ring as a raw byte copy.
+func collect(t *testing.T, g *ring) [][]byte {
+	t.Helper()
+	var out [][]byte
+	_, err := g.snapshot(nil, func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRingAppendAndSnapshot(t *testing.T) {
+	g := newRing(64)
+	payloads := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	for _, p := range payloads {
+		g.append(p)
+	}
+	if g.count != 3 || g.lost != 0 {
+		t.Fatalf("count=%d lost=%d, want 3/0", g.count, g.lost)
+	}
+	got := collect(t, g)
+	if len(got) != 3 {
+		t.Fatalf("snapshot returned %d records", len(got))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(got[i], p) {
+			t.Errorf("record %d: got %q want %q", i, got[i], p)
+		}
+	}
+}
+
+func TestRingEvictsOldestOnWrap(t *testing.T) {
+	g := newRing(64)
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("payload-%03d", i))
+		g.append(p)
+		want = append(want, p)
+	}
+	if g.lost == 0 {
+		t.Fatal("100 x 11-byte records in a 64-byte ring should have evicted")
+	}
+	if int(g.lost)+g.count != 100 {
+		t.Fatalf("lost %d + count %d != 100", g.lost, g.count)
+	}
+	got := collect(t, g)
+	// The ring must hold exactly the most recent records, in order.
+	tail := want[len(want)-len(got):]
+	for i := range got {
+		if !bytes.Equal(got[i], tail[i]) {
+			t.Errorf("record %d: got %q want %q", i, got[i], tail[i])
+		}
+	}
+}
+
+func TestRingWraparoundPayloads(t *testing.T) {
+	// Capacity chosen so payloads straddle the buffer end repeatedly.
+	g := newRing(67)
+	for i := 0; i < 500; i++ {
+		p := []byte(fmt.Sprintf("rec-%d-%s", i, "xxxxxxxxxx"[:i%10]))
+		g.append(p)
+		// Every few appends, verify the full window decodes.
+		if i%7 == 0 {
+			for j, q := range collect(t, g) {
+				if len(q) == 0 {
+					t.Fatalf("iteration %d: empty payload at %d", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRingOversizedPayloadDropped(t *testing.T) {
+	g := newRing(64)
+	g.append([]byte("keep"))
+	g.append(bytes.Repeat([]byte("x"), 100))
+	if g.lost != 1 {
+		t.Fatalf("lost=%d, want 1 (oversized dropped)", g.lost)
+	}
+	got := collect(t, g)
+	if len(got) != 1 || string(got[0]) != "keep" {
+		t.Fatalf("ring should still hold the small record, got %q", got)
+	}
+}
+
+func TestRingLinearizeMatchesSnapshot(t *testing.T) {
+	g := newRing(96)
+	for i := 0; i < 50; i++ {
+		g.append([]byte(fmt.Sprintf("r%02d", i)))
+	}
+	lin := g.linearize()
+	events, err := func() ([][]byte, error) {
+		var out [][]byte
+		rest := lin
+		for len(rest) > 0 {
+			plen, n := uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("bad prefix")
+			}
+			rest = rest[n:]
+			out = append(out, rest[:plen])
+			rest = rest[plen:]
+		}
+		return out, nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := collect(t, g)
+	if len(events) != len(snap) {
+		t.Fatalf("linearize has %d records, snapshot %d", len(events), len(snap))
+	}
+	for i := range snap {
+		if !bytes.Equal(events[i], snap[i]) {
+			t.Errorf("record %d differs", i)
+		}
+	}
+}
+
+// uvarint is a tiny local decoder so the test does not depend on the ring's.
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return v | uint64(c)<<s, i + 1
+		}
+		v |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,47 @@
+package fr
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// SyncRecorder wraps a Recorder in a mutex so a foreign goroutine — the
+// /debug/fr HTTP endpoint — can snapshot the ring while the VM emits into
+// it. Same rationale as obs.SyncObserver: the VM itself is single-threaded
+// over virtual time, so the lock is only needed when serving is live.
+type SyncRecorder struct {
+	mu sync.Mutex
+	r  *Recorder
+}
+
+// NewSync wraps r.
+func NewSync(r *Recorder) *SyncRecorder { return &SyncRecorder{r: r} }
+
+// Emit forwards one event under the lock. Implements trace.Sink.
+func (s *SyncRecorder) Emit(e trace.Event) {
+	s.mu.Lock()
+	s.r.Emit(e)
+	s.mu.Unlock()
+}
+
+// Snapshot assembles a dump under the lock.
+func (s *SyncRecorder) Snapshot(reason string) (*Dump, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Snapshot(reason)
+}
+
+// Len reports the ring's current event count under the lock.
+func (s *SyncRecorder) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Len()
+}
+
+// Lost reports overwritten events under the lock.
+func (s *SyncRecorder) Lost() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Lost()
+}

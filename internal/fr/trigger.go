@@ -1,0 +1,242 @@
+package fr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Dump reasons. Each automatic trigger fires at most once per run; the
+// manual reasons (Snapshot, the /debug/fr endpoint, end-of-run capture) are
+// unlatched.
+const (
+	ReasonDeadlock = "deadlock"
+	ReasonRace     = "race"
+	ReasonStorm    = "storm"
+	ReasonLatency  = "latency"
+	ReasonManual   = "manual"
+	ReasonExit     = "exit"
+)
+
+// Storm trigger defaults: 16 rollbacks inside a 50k-tick sliding window of
+// virtual time. The examples' pathological schedules produce single-digit
+// rollbacks; a healthy revocation run should never come near this.
+const (
+	DefaultStormN      = 16
+	DefaultStormWindow = 50000
+)
+
+// TriggerSpec selects which anomalies snapshot the ring. The zero value
+// fires on nothing; DefaultTriggers() is the rvmrun default.
+type TriggerSpec struct {
+	// Deadlock fires on the first DeadlockDetected event.
+	Deadlock bool
+	// Race fires on the first committed RaceDetected report.
+	Race bool
+	// StormN > 0 fires when that many Rollback events land within
+	// StormWindow virtual ticks of each other.
+	StormN      int
+	StormWindow simtime.Ticks
+	// Latency > 0 fires when a thread's MonitorBlocked→MonitorAcquired
+	// span meets or exceeds that many virtual ticks.
+	Latency simtime.Ticks
+	// Exit requests an unconditional end-of-run dump. It is not a stream
+	// trigger — the driver (rvmrun) snapshots after the VM stops.
+	Exit bool
+}
+
+// DefaultTriggers enables deadlock, race and the default rollback storm.
+func DefaultTriggers() TriggerSpec {
+	return TriggerSpec{
+		Deadlock:    true,
+		Race:        true,
+		StormN:      DefaultStormN,
+		StormWindow: DefaultStormWindow,
+	}
+}
+
+// ParseTriggers parses a -fr-dump-on spec: a comma-separated list of
+// "deadlock", "race", "storm[=N@WINDOW]" and "latency=TICKS". "none"
+// (alone) disables all triggers; an empty spec means DefaultTriggers.
+func ParseTriggers(spec string) (TriggerSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return DefaultTriggers(), nil
+	}
+	var ts TriggerSpec
+	parts := strings.Split(spec, ",")
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "none":
+			if len(parts) != 1 {
+				return ts, fmt.Errorf("fr: trigger %q cannot combine with others", part)
+			}
+			return TriggerSpec{}, nil
+		case "deadlock":
+			if hasVal {
+				return ts, fmt.Errorf("fr: trigger %q takes no value", key)
+			}
+			ts.Deadlock = true
+		case "race":
+			if hasVal {
+				return ts, fmt.Errorf("fr: trigger %q takes no value", key)
+			}
+			ts.Race = true
+		case "exit":
+			if hasVal {
+				return ts, fmt.Errorf("fr: trigger %q takes no value", key)
+			}
+			ts.Exit = true
+		case "storm":
+			ts.StormN, ts.StormWindow = DefaultStormN, DefaultStormWindow
+			if hasVal {
+				nStr, wStr, hasWindow := strings.Cut(val, "@")
+				n, err := strconv.Atoi(nStr)
+				if err != nil || n < 1 {
+					return ts, fmt.Errorf("fr: bad storm count in %q (want storm=N@WINDOW)", part)
+				}
+				ts.StormN = n
+				if hasWindow {
+					w, err := strconv.ParseInt(wStr, 10, 64)
+					if err != nil || w < 1 {
+						return ts, fmt.Errorf("fr: bad storm window in %q (want storm=N@WINDOW)", part)
+					}
+					ts.StormWindow = simtime.Ticks(w)
+				}
+			}
+		case "latency":
+			if !hasVal {
+				return ts, fmt.Errorf("fr: trigger latency requires =TICKS")
+			}
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || v < 1 {
+				return ts, fmt.Errorf("fr: bad latency threshold %q", val)
+			}
+			ts.Latency = simtime.Ticks(v)
+		case "":
+			return ts, fmt.Errorf("fr: empty trigger in spec %q", spec)
+		default:
+			return ts, fmt.Errorf("fr: unknown trigger %q (have deadlock, race, storm=N@WINDOW, latency=TICKS, none)", key)
+		}
+	}
+	return ts, nil
+}
+
+// String renders the spec back in -fr-dump-on syntax.
+func (ts TriggerSpec) String() string {
+	var parts []string
+	if ts.Deadlock {
+		parts = append(parts, "deadlock")
+	}
+	if ts.Race {
+		parts = append(parts, "race")
+	}
+	if ts.StormN > 0 {
+		parts = append(parts, fmt.Sprintf("storm=%d@%d", ts.StormN, ts.StormWindow))
+	}
+	if ts.Latency > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%d", ts.Latency))
+	}
+	if ts.Exit {
+		parts = append(parts, "exit")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// triggerState runs the anomaly checks against the live event stream. It is
+// purely stream-driven: every condition is detected from events the VM
+// already emits, so the recorder needs no hooks into core beyond its Sink.
+type triggerState struct {
+	spec  TriggerSpec
+	fired [4]bool // latch per automatic reason: deadlock, race, storm, latency
+
+	// Rollback timestamps in a circular window of the last StormN events.
+	stormTimes []simtime.Ticks
+	stormNext  int
+	stormSeen  int
+
+	// blockStart tracks each thread's open MonitorBlocked span for the
+	// latency trigger. A Rollback clears the victim's span: the wait it was
+	// in has been revoked, not served.
+	blockStart map[string]simtime.Ticks
+}
+
+const (
+	latchDeadlock = iota
+	latchRace
+	latchStorm
+	latchLatency
+)
+
+func (t *triggerState) init(spec TriggerSpec) {
+	t.spec = spec
+	if spec.StormN > 0 {
+		t.stormTimes = make([]simtime.Ticks, spec.StormN)
+	}
+	if spec.Latency > 0 {
+		t.blockStart = make(map[string]simtime.Ticks, 8)
+	}
+}
+
+// check inspects one event and reports the dump reason if an anomaly fired.
+// The hot path is a single switch whose default arm falls straight through.
+func (t *triggerState) check(e *trace.Event) (string, bool) {
+	switch e.Kind {
+	case trace.DeadlockDetected:
+		if t.spec.Deadlock && !t.fired[latchDeadlock] {
+			t.fired[latchDeadlock] = true
+			return ReasonDeadlock, true
+		}
+	case trace.RaceDetected:
+		if t.spec.Race && !t.fired[latchRace] {
+			t.fired[latchRace] = true
+			return ReasonRace, true
+		}
+	case trace.Rollback:
+		if t.spec.Latency > 0 && e.Thread != "" {
+			delete(t.blockStart, e.Thread)
+		}
+		if t.spec.StormN > 0 && !t.fired[latchStorm] {
+			t.stormTimes[t.stormNext] = e.At
+			t.stormNext = (t.stormNext + 1) % t.spec.StormN
+			if t.stormSeen < t.spec.StormN {
+				t.stormSeen++
+			}
+			if t.stormSeen == t.spec.StormN {
+				oldest := t.stormTimes[t.stormNext]
+				if e.At-oldest <= t.spec.StormWindow {
+					t.fired[latchStorm] = true
+					return ReasonStorm, true
+				}
+			}
+		}
+	case trace.MonitorBlocked:
+		if t.spec.Latency > 0 && e.Thread != "" {
+			if _, open := t.blockStart[e.Thread]; !open {
+				t.blockStart[e.Thread] = e.At
+			}
+		}
+	case trace.MonitorAcquired:
+		if t.spec.Latency > 0 && e.Thread != "" && !t.fired[latchLatency] {
+			if start, open := t.blockStart[e.Thread]; open {
+				delete(t.blockStart, e.Thread)
+				if e.At-start >= t.spec.Latency {
+					t.fired[latchLatency] = true
+					return ReasonLatency, true
+				}
+			}
+		}
+	case trace.ThreadEnd:
+		if t.spec.Latency > 0 && e.Thread != "" {
+			delete(t.blockStart, e.Thread)
+		}
+	}
+	return "", false
+}

@@ -81,7 +81,9 @@ func (h *Histogram) sortSamples() {
 }
 
 // HistSummary is the serializable digest of a histogram: exact count/total
-// plus the percentiles the evaluation reports.
+// plus the percentiles the evaluation reports. P999 (p99.9) is the fleet
+// SLO tail: one VM instance rarely has enough samples for it to differ
+// from Max, but the merged fleet distribution does.
 type HistSummary struct {
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
@@ -90,6 +92,7 @@ type HistSummary struct {
 	P50   int64 `json:"p50"`
 	P90   int64 `json:"p90"`
 	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
 }
 
 // Summary digests the histogram.
@@ -102,7 +105,18 @@ func (h *Histogram) Summary() HistSummary {
 		P50:   h.Percentile(50),
 		P90:   h.Percentile(90),
 		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
 	}
+}
+
+// Samples returns a copy of the raw sample set, in sorted order. The fleet
+// merge uses it to combine instance histograms exactly rather than through
+// their percentile digests.
+func (h *Histogram) Samples() []int64 {
+	h.sortSamples()
+	out := make([]int64, len(h.samples))
+	copy(out, h.samples)
+	return out
 }
 
 // Bucket is one power-of-two bin of a rendered histogram: samples v with

@@ -19,12 +19,22 @@ const SchemaVersion = 1
 // SchemaName identifies the JSONL stream format.
 const SchemaName = "rvm-trace"
 
+// StreamInfo qualifies a JSONL trace stream. A truncated stream (converted
+// from a wrapped flight-recorder ring) declares up front that its oldest
+// events were overwritten, so a validator can attribute unjoinable events
+// to the missing prefix instead of to a codec bug.
+type StreamInfo struct {
+	Truncated bool   `json:"truncated,omitempty"`
+	Lost      uint64 `json:"lost,omitempty"` // events overwritten before the stream start
+}
+
 // jsonlMeta is the mandatory first line of a JSONL trace.
 type jsonlMeta struct {
 	Type   string   `json:"type"` // "meta"
 	V      int      `json:"v"`
 	Schema string   `json:"schema"`
 	Kinds  []string `json:"kinds"` // every kind name the stream may use
+	StreamInfo
 }
 
 // jsonlEvent is one event line of a JSONL trace.
@@ -50,9 +60,16 @@ type JSONLWriter struct {
 
 // NewJSONLWriter creates a writer and emits the meta line.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return NewJSONLWriterInfo(w, StreamInfo{})
+}
+
+// NewJSONLWriterInfo creates a writer whose meta line carries the given
+// stream qualifiers — the flight-recorder converter uses it to mark
+// streams decoded from a wrapped ring as truncated.
+func NewJSONLWriterInfo(w io.Writer, info StreamInfo) *JSONLWriter {
 	bw := bufio.NewWriter(w)
 	j := &JSONLWriter{w: bw, enc: json.NewEncoder(bw)}
-	j.err = j.enc.Encode(jsonlMeta{Type: "meta", V: SchemaVersion, Schema: SchemaName, Kinds: KindNames()})
+	j.err = j.enc.Encode(jsonlMeta{Type: "meta", V: SchemaVersion, Schema: SchemaName, Kinds: KindNames(), StreamInfo: info})
 	return j
 }
 
@@ -76,16 +93,10 @@ func (j *JSONLWriter) Close() error {
 }
 
 // KindNames returns the stable names of every trace kind, in declaration
-// order. This is the JSONL kind vocabulary; the golden test in
-// jsonl_test.go pins it so a rename breaks loudly.
-func KindNames() []string {
-	kinds := trace.AllKinds()
-	names := make([]string, len(kinds))
-	for i, k := range kinds {
-		names[i] = k.String()
-	}
-	return names
-}
+// order — the shared vocabulary table in internal/trace, which both this
+// JSONL meta line and the flight-recorder binary codec consume. The golden
+// tests (here and in internal/trace) pin it so a rename breaks loudly.
+func KindNames() []string { return trace.Names() }
 
 // ValidateJSONL checks a JSONL trace stream against the schema: a leading
 // meta line with the expected version and schema name, then event lines
@@ -155,40 +166,47 @@ func ValidateJSONL(r io.Reader) (int, error) {
 
 // ParseJSONL validates a JSONL trace stream and decodes it back into
 // events, inverting JSONLWriter: a round-tripped stream replays into an
-// Observer exactly as the live run did. Kind names resolve through the
-// stream's declared vocabulary, which ValidateJSONL has already checked
-// against this build's.
+// Observer exactly as the live run did.
 func ParseJSONL(r io.Reader) ([]trace.Event, error) {
+	events, _, err := ParseJSONLInfo(r)
+	return events, err
+}
+
+// ParseJSONLInfo is ParseJSONL plus the meta line's stream qualifiers, so
+// a consumer can tell a truncated (ring-wrapped) stream from a complete
+// one. Kind names resolve through the stream's declared vocabulary, which
+// ValidateJSONL has already checked against this build's.
+func ParseJSONLInfo(r io.Reader) ([]trace.Event, StreamInfo, error) {
 	var buf bytes.Buffer
 	if _, err := ValidateJSONL(io.TeeReader(r, &buf)); err != nil {
-		return nil, err
-	}
-	byName := make(map[string]trace.Kind)
-	for _, k := range trace.AllKinds() {
-		byName[k.String()] = k
+		return nil, StreamInfo{}, err
 	}
 	var events []trace.Event
 	sc := bufio.NewScanner(&buf)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	sc.Scan() // meta line, already validated
+	var meta jsonlMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return nil, StreamInfo{}, err
+	}
 	for sc.Scan() {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
 		var ev jsonlEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return nil, err
+			return nil, meta.StreamInfo, err
 		}
-		kind, ok := byName[ev.Kind]
+		kind, ok := trace.KindByName(ev.Kind)
 		if !ok {
 			// Vocabulary from a newer build: validated as declared, but this
 			// build cannot represent it.
-			return nil, fmt.Errorf("obs: kind %q not known to this build", ev.Kind)
+			return nil, meta.StreamInfo, fmt.Errorf("obs: kind %q not known to this build", ev.Kind)
 		}
 		events = append(events, trace.Event{
 			At: simtime.Ticks(ev.At), Kind: kind,
 			Thread: ev.Thread, Object: ev.Object, Other: ev.Other, N: ev.N, Detail: ev.Detail,
 		})
 	}
-	return events, sc.Err()
+	return events, meta.StreamInfo, sc.Err()
 }

@@ -67,6 +67,12 @@ func (m *Metrics) ContentionPerMonitor(monitor string) *Histogram {
 	return m.contentionPerMonitor[monitor]
 }
 
+// HoldPerMonitorAll returns every monitor's hold-time histogram.
+func (m *Metrics) HoldPerMonitorAll() map[string]*Histogram { return m.holdPerMonitor }
+
+// ContentionPerMonitorAll returns every monitor's blocking-time histogram.
+func (m *Metrics) ContentionPerMonitorAll() map[string]*Histogram { return m.contentionPerMonitor }
+
 // BlockingPerThread returns one thread's blocking-time histogram.
 func (m *Metrics) BlockingPerThread(thread string) *Histogram { return m.blockingPerThread[thread] }
 

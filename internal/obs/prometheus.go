@@ -72,6 +72,7 @@ func writeSummary(b *strings.Builder, name, labels string, h HistSummary) {
 	q("0.5", h.P50)
 	q("0.9", h.P90)
 	q("0.99", h.P99)
+	q("0.999", h.P999)
 	suffix := ""
 	if labels != "" {
 		suffix = "{" + labels + "}"

@@ -1,0 +1,31 @@
+package prof
+
+// Digest is the compact JSON form of a snapshot: per-dimension tick totals
+// plus the top leaf sites of each dimension. The flight recorder embeds it
+// in .rvmfr dumps so a post-mortem carries the hot sites without the full
+// pprof payload.
+type Digest struct {
+	// Totals maps dimension name (work, waste, block, sched) to its
+	// accumulated virtual ticks.
+	Totals map[string]int64 `json:"totals"`
+	// Top maps dimension name to its highest-ticks leaf sites.
+	Top map[string][]TopSite `json:"top,omitempty"`
+}
+
+// Digest ranks each dimension's top n leaf sites (all when n <= 0).
+func (s *Snapshot) Digest(n int) Digest {
+	d := Digest{
+		Totals: make(map[string]int64, NumDims),
+		Top:    make(map[string][]TopSite, NumDims),
+	}
+	for _, dim := range Dims() {
+		d.Totals[dim.String()] = s.Totals[dim]
+		if sites := s.Top(dim, n); len(sites) > 0 {
+			d.Top[dim.String()] = sites
+		}
+	}
+	if len(d.Top) == 0 {
+		d.Top = nil
+	}
+	return d
+}

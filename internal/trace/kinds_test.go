@@ -1,0 +1,83 @@
+package trace
+
+import "testing"
+
+// goldenKindNames pins the shared event-kind vocabulary at its source. The
+// JSONL meta line, the flight-recorder binary codec and every downstream
+// consumer parse these exact strings, so a rename or reorder is a wire
+// format change: it must fail here loudly and force a schema-version bump
+// review. New kinds are appended, never inserted.
+var goldenKindNames = []string{
+	"thread-start",
+	"thread-end",
+	"context-switch",
+	"monitor-enter",
+	"monitor-acquired",
+	"monitor-blocked",
+	"monitor-exit",
+	"inversion-detected",
+	"revoke-requested",
+	"revoke-denied",
+	"rollback",
+	"re-execution",
+	"non-revocable",
+	"deadlock-detected",
+	"deadlock-broken",
+	"wait-start",
+	"wait-end",
+	"notify",
+	"native-call",
+	"volatile-write",
+	"volatile-read",
+	"custom",
+	"static-premark",
+	"race-detected",
+}
+
+func TestKindVocabularyGolden(t *testing.T) {
+	got := Names()
+	if len(got) != len(goldenKindNames) {
+		t.Fatalf("vocabulary has %d names, golden has %d — append new kinds to the golden list and review every exporter: %v",
+			len(got), len(goldenKindNames), got)
+	}
+	for i, want := range goldenKindNames {
+		if got[i] != want {
+			t.Errorf("kind %d = %q, want %q — renaming a kind changes the wire format; bump the schema version", i, got[i], want)
+		}
+	}
+}
+
+// TestKindVocabularyCovers guards the failure mode the shared table exists
+// to prevent: a kind declared in the const block without a name would
+// silently fall out of every exporter's vocabulary. Every kind AllKinds
+// enumerates must have a real name, resolve back through KindByName, and
+// pass ValidKind; everything outside the table must not.
+func TestKindVocabularyCovers(t *testing.T) {
+	kinds := AllKinds()
+	if len(kinds) != len(Names()) {
+		t.Fatalf("AllKinds has %d entries, Names has %d", len(kinds), len(Names()))
+	}
+	for _, k := range kinds {
+		name := k.String()
+		if name == "" || len(name) > 0 && name[0] == 'k' && len(name) > 5 && name[:5] == "kind(" {
+			t.Errorf("kind %d has no vocabulary name (String() = %q) — extend kindNames", int(k), name)
+			continue
+		}
+		back, ok := KindByName(name)
+		if !ok || back != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v, true", name, back, ok, k)
+		}
+		if !ValidKind(k) {
+			t.Errorf("ValidKind(%v) = false for a defined kind", k)
+		}
+	}
+	if ValidKind(Kind(len(kinds))) {
+		t.Errorf("ValidKind accepts the first undefined kind %d", len(kinds))
+	}
+	if ValidKind(Kind(-1)) {
+		t.Errorf("ValidKind accepts a negative kind")
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Errorf("KindByName resolves an unknown name")
+	}
+}

@@ -50,7 +50,18 @@ const (
 	RaceDetected
 )
 
-var kindNames = map[Kind]string{
+// numKinds is the number of defined kinds. AllKinds, the name table and
+// every binary/JSONL vocabulary are sized by it; a kind added above without
+// extending kindNames leaves an empty slot that the vocabulary coverage
+// test rejects, so a new kind can never silently miss an exporter.
+const numKinds = int(RaceDetected) + 1
+
+// kindNames is THE event-kind vocabulary: the single shared table behind
+// the JSONL meta line, the flight-recorder binary codec and every String()
+// rendering. Names are wire format — renaming one changes what every
+// downstream consumer parses, so the golden test pins the exact list and a
+// rename must bump the trace schema version.
+var kindNames = [numKinds]string{
 	ThreadStart:       "thread-start",
 	ThreadEnd:         "thread-end",
 	ContextSwitch:     "context-switch",
@@ -77,12 +88,44 @@ var kindNames = map[Kind]string{
 	RaceDetected:      "race-detected",
 }
 
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, numKinds)
+	for k, name := range kindNames {
+		if name != "" {
+			m[name] = Kind(k)
+		}
+	}
+	return m
+}()
+
 // String returns the stable, hyphenated name of the kind.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if k >= 0 && int(k) < numKinds && kindNames[k] != "" {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Names returns the stable name of every kind, indexed by kind value —
+// the shared vocabulary consumed by the JSONL meta line and the
+// flight-recorder binary codec.
+func Names() []string {
+	out := make([]string, numKinds)
+	copy(out, kindNames[:])
+	return out
+}
+
+// KindByName resolves a stable name back to its kind, the inverse of
+// String for every defined kind.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// ValidKind reports whether k is a defined kind with a name in the
+// vocabulary — the decode-side check of the binary codec.
+func ValidKind(k Kind) bool {
+	return k >= 0 && int(k) < numKinds && kindNames[k] != ""
 }
 
 // Event is one timestamped occurrence. Beyond the acting thread, events
@@ -128,8 +171,8 @@ func (e Event) String() string {
 // it to enumerate the stable name set; a new kind added above extends the
 // slice automatically (RaceDetected is the last defined kind).
 func AllKinds() []Kind {
-	kinds := make([]Kind, 0, int(RaceDetected)+1)
-	for k := ThreadStart; k <= RaceDetected; k++ {
+	kinds := make([]Kind, 0, numKinds)
+	for k := ThreadStart; int(k) < numKinds; k++ {
 		kinds = append(kinds, k)
 	}
 	return kinds
