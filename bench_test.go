@@ -229,6 +229,15 @@ func BenchmarkFlightRecorderCell(b *testing.B) {
 	b.Run("on", bench.FlightRecorderCellBench(true))
 }
 
+// BenchmarkConfinedMonitorEnterExit runs the same confined-lock loop with
+// real thin-lock monitors (off) and with the certified whole-monitor
+// elision applied (on); the ns/op metric is per monitor operation and the
+// off/on delta is what the escape analysis buys end to end.
+func BenchmarkConfinedMonitorEnterExit(b *testing.B) {
+	b.Run("off", bench.ConfinedMonitorEnterExitBench(false))
+	b.Run("on", bench.ConfinedMonitorEnterExitBench(true))
+}
+
 // BenchmarkTierDispatch compares threaded-closure dispatch against fused
 // superinstruction dispatch on workloads whose hot methods cross the
 // tier-3 promotion threshold.

@@ -13,24 +13,35 @@
 //     slots reachable by two threads with at least one write and no common
 //     must-held monitor, plus volatile-bypass access patterns;
 //   - with -deadlocks, the behavioral contract pass's findings: canonical
-//     deadlock cycles under the finer behavioral lock naming, including
-//     spawn-multiplicity and field-aliased circularities the SCC pass
-//     cannot see.
+//     deadlock cycles under the finer behavioral lock naming (now closed
+//     under recursive contract inference), including spawn-multiplicity,
+//     field-aliased and recursion-only circularities the SCC pass cannot
+//     see;
+//   - with -escape, the thread-confinement classification of every
+//     acquired multi-instance lock, the certified whole-monitor elision
+//     sites, and the certified race-free slots.
 //
 // Usage:
 //
-//	rvmlint [-json] [-sarif] [-races] [-deadlocks]
+//	rvmlint [-json] [-sarif] [-races] [-deadlocks] [-escape]
 //	        [-fail-on-cycle] [-fail-on-race] [-fail-on-deadlock]
+//	        [-fail-on-escape-regression]
 //	        program.rvm [more.rvm ...]
 //
-// -json emits machine-readable output for CI (race findings included);
-// -sarif emits the same findings as a SARIF 2.1.0 log for code-scanning
-// upload. -fail-on-cycle exits non-zero when any lock-order cycle is
-// found, -fail-on-race when any candidate race is, and -fail-on-deadlock
-// when the behavioral pass reports anything, making the tool usable as a
-// build gate. Every run also re-verifies the permission certificates the
-// analysis issued (analysis.Facts.VerifyCertificates): an undischarged
-// elision obligation is a hard error, the same gate interp.NewEnv applies.
+// (The usage string printed on a bad invocation is generated from the
+// registered flag set, so it can never drift from the table above —
+// TestUsageMentionsEveryFlag pins both.)
+//
+// -json emits machine-readable output for CI (race and confinement
+// findings included); -sarif emits the same findings as a SARIF 2.1.0 log
+// for code-scanning upload. -fail-on-cycle exits non-zero when any
+// lock-order cycle is found, -fail-on-race when any candidate race is,
+// -fail-on-deadlock when the behavioral pass reports anything, and
+// -fail-on-escape-regression when any allocation-site lock fails
+// confinement, making the tool usable as a build gate. Every run also
+// re-verifies the permission certificates the analysis issued
+// (analysis.Facts.VerifyCertificates): an undischarged elision obligation
+// is a hard error, the same gate interp.NewEnv applies.
 package main
 
 import (
@@ -47,6 +58,17 @@ import (
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// usageLine builds the one-line usage synopsis from the registered flag
+// set itself, so the printed usage can never drift from the flags the
+// parser actually accepts. TestUsageMentionsEveryFlag pins the property.
+func usageLine(fs *flag.FlagSet) string {
+	line := "usage: " + fs.Name()
+	fs.VisitAll(func(f *flag.Flag) {
+		line += " [-" + f.Name + "]"
+	})
+	return line + " program.rvm [more.rvm ...]"
+}
+
 type fileReport struct {
 	File  string          `json:"file"`
 	Facts *analysis.Facts `json:"facts"`
@@ -59,14 +81,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sarifOut := fs.Bool("sarif", false, "emit the findings as a SARIF 2.1.0 log")
 	races := fs.Bool("races", false, "print the static lockset pass's candidate data races")
 	deadlocks := fs.Bool("deadlocks", false, "print the behavioral deadlock pass's findings")
+	escape := fs.Bool("escape", false, "print the escape pass's thread-confinement classification and elision sites")
 	failOnCycle := fs.Bool("fail-on-cycle", false, "exit 1 when a lock-order cycle is found")
 	failOnRace := fs.Bool("fail-on-race", false, "exit 1 when a candidate data race is found")
 	failOnDeadlock := fs.Bool("fail-on-deadlock", false, "exit 1 when the behavioral pass reports a deadlock")
+	failOnEscape := fs.Bool("fail-on-escape-regression", false, "exit 1 when an allocation-site lock fails thread confinement")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: rvmlint [-json] [-sarif] [-races] [-deadlocks] [-fail-on-cycle] [-fail-on-race] [-fail-on-deadlock] program.rvm ...")
+		fmt.Fprintln(stderr, usageLine(fs))
 		fs.PrintDefaults()
 		return 2
 	}
@@ -106,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *deadlocks {
 				fmt.Fprintf(stdout, "\n%s", facts.RenderDeadlocks())
 			}
+			if *escape {
+				fmt.Fprintf(stdout, "\n%s", facts.RenderEscape())
+			}
 			fmt.Fprintln(stdout)
 		}
 		if *failOnCycle && len(facts.Cycles) > 0 {
@@ -115,6 +142,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			exit = 1
 		}
 		if *failOnDeadlock && len(facts.Deadlocks) > 0 {
+			exit = 1
+		}
+		if *failOnEscape && len(facts.EscapeRegressions()) > 0 {
 			exit = 1
 		}
 	}

@@ -29,6 +29,9 @@ func TestGolden(t *testing.T) {
 		{"deadlock", "deadlock", []string{"-deadlocks"}},
 		{"deadlock2", "deadlock2", []string{"-deadlocks"}},
 		{"aliasdl", "aliasdl", []string{"-deadlocks"}},
+		{"confined", "confined", []string{"-escape"}},
+		{"escaping", "escape", []string{"-escape"}},
+		{"recdl", "recdl", []string{"-deadlocks"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -106,6 +109,83 @@ func TestSeededFindings(t *testing.T) {
 	}
 }
 
+// TestUsageMentionsEveryFlag: the usage synopsis printed on a bad
+// invocation is generated from the registered flag set (usageLine), so
+// this asserts the property directly — every flag the parser accepts must
+// appear in the usage output, and nothing in the flag table can drift out
+// of the printed help.
+func TestUsageMentionsEveryFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	usage := errOut.String()
+	if !strings.Contains(usage, "usage: rvmlint") {
+		t.Fatalf("usage line missing:\n%s", usage)
+	}
+	// Enumerate the registered flags through the parser itself (a bad
+	// flag makes ContinueOnError print the full defaults table), so a
+	// flag added to run() without updating anything else is still checked.
+	var probe bytes.Buffer
+	run([]string{"-this-flag-does-not-exist"}, &out, &probe)
+	for _, name := range flagNamesFromDefaults(probe.String()) {
+		if !strings.Contains(usage, "[-"+name+"]") {
+			t.Errorf("usage synopsis omits registered flag -%s:\n%s", name, usage)
+		}
+		if !strings.Contains(usage, "-"+name+"\n") && !strings.Contains(usage, "-"+name+" ") {
+			t.Errorf("flag table omits -%s:\n%s", name, usage)
+		}
+	}
+}
+
+// flagNamesFromDefaults extracts flag names from a PrintDefaults dump
+// ("  -name\n    \tusage" lines).
+func flagNamesFromDefaults(dump string) []string {
+	var names []string
+	for _, line := range strings.Split(dump, "\n") {
+		if rest, ok := strings.CutPrefix(line, "  -"); ok {
+			names = append(names, strings.Fields(rest)[0])
+		}
+	}
+	return names
+}
+
+// TestEscapeFindings pins the -escape text pass and the
+// -fail-on-escape-regression gate: the confined example's lock is proved
+// thread-confined (exit 0 even under the gate), while the escape example
+// publishes its scratch lock to a static and must trip it.
+func TestEscapeFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-escape", "-fail-on-escape-regression",
+		filepath.Join("..", "..", "examples", "confined", "confined.rvm"),
+	}, &out, &errOut)
+	if code != 0 {
+		t.Errorf("confined example tripped the escape gate (exit %d): %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "thread-confined") {
+		t.Errorf("confinement proof not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "elide whole monitor at") {
+		t.Errorf("elision sites not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "race-free slots: 1 certified") {
+		t.Errorf("race-free certification not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{
+		"-escape", "-fail-on-escape-regression",
+		filepath.Join("..", "..", "examples", "escape", "escaping.rvm"),
+	}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("-fail-on-escape-regression exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "shared") || !strings.Contains(out.String(), "escapes") {
+		t.Errorf("escaping lock not reported:\n%s", out.String())
+	}
+}
+
 // TestBehavioralFindings pins the load-bearing behavioral-pass results on
 // the deadlock corpus: the SCC pass sees only the statically named cycle,
 // the behavioral pass sees all three shapes, and -fail-on-deadlock gates.
@@ -140,7 +220,11 @@ func TestBehavioralFindings(t *testing.T) {
 
 // TestSARIFOutput: -sarif emits one valid SARIF 2.1.0 log covering every
 // input file, with behavioral-deadlock results only where the pass found
-// something.
+// something. The corpus is chosen so every registered rule kind fires at
+// least once, and the schema shape is checked on every result: the rule
+// id must be declared in the driver table, every result must carry an
+// artifact location, and the level must be a legal SARIF kind that
+// matches the rule table's declaration.
 func TestSARIFOutput(t *testing.T) {
 	var out, errOut bytes.Buffer
 	code := run([]string{
@@ -148,6 +232,10 @@ func TestSARIFOutput(t *testing.T) {
 		filepath.Join("..", "..", "examples", "bytecode", "lockorder.rvm"),
 		filepath.Join("..", "..", "examples", "deadlock2", "deadlock2.rvm"),
 		filepath.Join("..", "..", "examples", "racy", "counter.rvm"),
+		filepath.Join("..", "..", "examples", "racy", "volbypass.rvm"),
+		filepath.Join("..", "..", "examples", "confined", "confined.rvm"),
+		filepath.Join("..", "..", "examples", "escape", "escaping.rvm"),
+		filepath.Join("..", "..", "examples", "recdl", "recdl.rvm"),
 	}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
@@ -166,6 +254,7 @@ func TestSARIFOutput(t *testing.T) {
 			} `json:"tool"`
 			Results []struct {
 				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
 				Message   struct{ Text string }
 				Locations []struct {
 					PhysicalLocation struct {
@@ -180,6 +269,9 @@ func TestSARIFOutput(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
 		t.Fatalf("bad SARIF JSON: %v\n%s", err, out.String())
 	}
+	if log.Schema != "https://json.schemastore.org/sarif-2.1.0.json" {
+		t.Errorf("$schema = %q", log.Schema)
+	}
 	if log.Version != "2.1.0" || len(log.Runs) != 1 {
 		t.Fatalf("version %q runs %d, want 2.1.0 with one run", log.Version, len(log.Runs))
 	}
@@ -187,9 +279,29 @@ func TestSARIFOutput(t *testing.T) {
 	if r.Tool.Driver.Name != "rvmlint" || len(r.Tool.Driver.Rules) == 0 {
 		t.Fatalf("driver = %+v", r.Tool.Driver)
 	}
+	declared := map[string]bool{}
+	for _, rule := range r.Tool.Driver.Rules {
+		declared[rule.ID] = true
+	}
+	legalLevel := map[string]bool{"note": true, "warning": true, "error": true}
 	byRule := map[string][]string{}
 	for _, res := range r.Results {
+		if !declared[res.RuleID] {
+			t.Errorf("result rule %q not declared in the driver rule table", res.RuleID)
+		}
+		if !legalLevel[res.Level] {
+			t.Errorf("result %s has illegal level %q", res.RuleID, res.Level)
+		}
+		if want := sarifLevel(res.RuleID); res.Level != want {
+			t.Errorf("result %s level %q disagrees with rule table %q", res.RuleID, res.Level, want)
+		}
+		if len(res.Locations) == 0 {
+			t.Errorf("result %s has no locations", res.RuleID)
+		}
 		for _, loc := range res.Locations {
+			if loc.PhysicalLocation.ArtifactLocation.URI == "" {
+				t.Errorf("result %s has a location without an artifact URI", res.RuleID)
+			}
 			byRule[res.RuleID] = append(byRule[res.RuleID], loc.PhysicalLocation.ArtifactLocation.URI)
 		}
 	}
@@ -207,11 +319,33 @@ func TestSARIFOutput(t *testing.T) {
 	if !has("behavioral-deadlock", "deadlock2.rvm") {
 		t.Errorf("deadlock2 behavioral finding missing from SARIF: %v", byRule)
 	}
+	if !has("behavioral-deadlock", "recdl.rvm") {
+		t.Errorf("recursion-only deadlock missing from SARIF: %v", byRule)
+	}
 	if has("behavioral-deadlock", "counter.rvm") {
 		t.Errorf("spurious behavioral finding for counter.rvm: %v", byRule)
 	}
 	if !has("candidate-race", "counter.rvm") {
 		t.Errorf("counter race missing from SARIF: %v", byRule)
+	}
+	if !has("volatile-bypass", "volbypass.rvm") {
+		t.Errorf("volatile bypass missing from SARIF: %v", byRule)
+	}
+	if !has("confined-monitor", "confined.rvm") {
+		t.Errorf("confined-monitor finding missing from SARIF: %v", byRule)
+	}
+	if !has("race-free-slot", "confined.rvm") {
+		t.Errorf("race-free-slot finding missing from SARIF: %v", byRule)
+	}
+	if !has("escaping-lock", "escaping.rvm") {
+		t.Errorf("escaping-lock finding missing from SARIF: %v", byRule)
+	}
+	// Every declared rule fired somewhere in this corpus — the table
+	// carries no dead rules and no rule kind goes untested.
+	for id := range declared {
+		if len(byRule[id]) == 0 {
+			t.Errorf("declared rule %q never fired over the test corpus", id)
+		}
 	}
 }
 

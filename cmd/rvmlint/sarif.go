@@ -70,11 +70,25 @@ type sarifLogical struct {
 	FullyQualifiedName string `json:"fullyQualifiedName"`
 }
 
-var sarifRules = []struct{ id, desc string }{
-	{"lock-order-cycle", "Locks form a strongly connected acquisition-order component: two threads can acquire them in conflicting orders."},
-	{"behavioral-deadlock", "The behavioral contract pass found a circularity on the saturated thread system (spawn multiplicity and field/array lock aliasing included)."},
-	{"candidate-race", "Two threads can access the slot with at least one write and no common must-held monitor."},
-	{"volatile-bypass", "An access pattern defeats the volatile exemption on the slot."},
+var sarifRules = []struct{ id, desc, level string }{
+	{"lock-order-cycle", "Locks form a strongly connected acquisition-order component: two threads can acquire them in conflicting orders.", "warning"},
+	{"behavioral-deadlock", "The behavioral contract pass found a circularity on the saturated thread system (spawn multiplicity and field/array lock aliasing included).", "warning"},
+	{"candidate-race", "Two threads can access the slot with at least one write and no common must-held monitor.", "warning"},
+	{"volatile-bypass", "An access pattern defeats the volatile exemption on the slot.", "warning"},
+	{"escaping-lock", "An allocation-site lock escapes its creating thread: the scratch object is published, so its monitors stay real.", "warning"},
+	{"confined-monitor", "The escape pass proved the lock thread-confined; its certified monitorenter/monitorexit pairs compile to no-ops.", "note"},
+	{"race-free-slot", "Every thread-reachable access to the slot is certified race-free; the dynamic detector skips its checks.", "note"},
+}
+
+// sarifLevel returns the level declared for a rule id in sarifRules, so
+// result emission can never disagree with the rule table.
+func sarifLevel(rule string) string {
+	for _, r := range sarifRules {
+		if r.id == rule {
+			return r.level
+		}
+	}
+	return "warning"
 }
 
 func sarifLoc(file string, positions ...analysis.Pos) []sarifLocation {
@@ -98,7 +112,7 @@ func cycleResult(rule, file string, c analysis.Cycle) sarifResult {
 	}
 	return sarifResult{
 		RuleID: rule,
-		Level:  "warning",
+		Level:  sarifLevel(rule),
 		Message: sarifMessage{Text: fmt.Sprintf("potential deadlock: cycle %s (%d witness acquisitions)",
 			strings.Join(c.Locks, " <-> "), len(c.Edges))},
 		Locations: sarifLoc(file, sites...),
@@ -125,7 +139,7 @@ func writeSARIF(w io.Writer, reports []fileReport) error {
 			sites := append(append([]analysis.Pos{}, race.Writes...), race.Reads...)
 			run.Results = append(run.Results, sarifResult{
 				RuleID: "candidate-race",
-				Level:  "warning",
+				Level:  sarifLevel("candidate-race"),
 				Message: sarifMessage{Text: fmt.Sprintf("candidate data race on %s between threads %s",
 					race.Slot, strings.Join(race.Threads, ", "))},
 				Locations: sarifLoc(rep.File, sites...),
@@ -134,9 +148,41 @@ func writeSARIF(w io.Writer, reports []fileReport) error {
 		for _, v := range f.Bypasses {
 			run.Results = append(run.Results, sarifResult{
 				RuleID:    "volatile-bypass",
-				Level:     "warning",
+				Level:     sarifLevel("volatile-bypass"),
 				Message:   sarifMessage{Text: fmt.Sprintf("volatile bypass (%s) on %s", v.Kind, v.Slot)},
 				Locations: sarifLoc(rep.File, v.Pos),
+			})
+		}
+		for _, c := range f.Confinements {
+			switch {
+			case strings.HasPrefix(c.Lock, "new:") && c.Class != analysis.ConfinedClass:
+				run.Results = append(run.Results, sarifResult{
+					RuleID: "escaping-lock",
+					Level:  sarifLevel("escaping-lock"),
+					Message: sarifMessage{Text: fmt.Sprintf("allocation-site lock %s escapes its thread: %s",
+						c.Lock, c.Reason)},
+					Locations: sarifLoc(rep.File, c.Sites...),
+				})
+			case c.Class == analysis.ConfinedClass:
+				run.Results = append(run.Results, sarifResult{
+					RuleID: "confined-monitor",
+					Level:  sarifLevel("confined-monitor"),
+					Message: sarifMessage{Text: fmt.Sprintf("lock %s is thread-confined (%s); certified monitors elide whole",
+						c.Lock, c.Reason)},
+					Locations: sarifLoc(rep.File, c.Sites...),
+				})
+			}
+		}
+		for _, cert := range f.Certs {
+			if cert.Kind != analysis.CertRaceFree {
+				continue
+			}
+			run.Results = append(run.Results, sarifResult{
+				RuleID: "race-free-slot",
+				Level:  sarifLevel("race-free-slot"),
+				Message: sarifMessage{Text: fmt.Sprintf("slot %s is certified race-free; dynamic checks are skipped",
+					cert.Slot)},
+				Locations: sarifLoc(rep.File, cert.Pos),
 			})
 		}
 	}

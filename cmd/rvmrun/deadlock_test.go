@@ -44,7 +44,7 @@ func TestRenderDeadlockCycles(t *testing.T) {
 // the wait-for-graph observer). The deterministic scheduler makes the
 // cycle — threads, priorities, monitors, sites — identical on every run.
 func TestDeadlockReportGolden(t *testing.T) {
-	for _, name := range []string{"deadlock", "deadlock2", "aliasdl"} {
+	for _, name := range []string{"deadlock", "deadlock2", "aliasdl", "recdl"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			src, err := os.ReadFile(filepath.Join("..", "..", "examples", name, name+".rvm"))

@@ -306,6 +306,12 @@ func main() {
 	var detector *race.Detector
 	if *raceFlag {
 		detector = race.New()
+		if facts != nil {
+			// Slots the analysis certified race-free skip the sanitizer's
+			// per-access vector-clock checks; the certificates were verified
+			// by VerifyCertificates inside interp.NewEnv below.
+			detector.SetCertifiedRaceFree(facts.RaceFreeSlotNames())
+		}
 	}
 	cfg := core.Config{
 		Mode:              mode,
@@ -652,13 +658,13 @@ func printStats(rt *core.Runtime) {
 		st.Inversions, st.RevocationRequests, st.RevocationsDenied, st.Rollbacks, st.Reexecutions)
 	fmt.Fprintf(os.Stderr, "logged=%d undone=%d wasted-ticks=%d deadlocks-broken=%d switches=%d\n",
 		st.EntriesLogged, st.EntriesUndone, st.WastedTicks, st.DeadlocksBroken, st.ContextSwitches)
-	if st.StaticPreMarks > 0 || st.RawStores > 0 || st.AllocsLogged > 0 {
-		fmt.Fprintf(os.Stderr, "static: premarks=%d raw-stores=%d allocs-logged=%d\n",
-			st.StaticPreMarks, st.RawStores, st.AllocsLogged)
+	if st.StaticPreMarks > 0 || st.RawStores > 0 || st.AllocsLogged > 0 || st.ConfinedElisions > 0 {
+		fmt.Fprintf(os.Stderr, "static: premarks=%d raw-stores=%d allocs-logged=%d confined-elisions=%d\n",
+			st.StaticPreMarks, st.RawStores, st.AllocsLogged, st.ConfinedElisions)
 	}
-	if st.RacesDetected > 0 || st.RaceReportsRetracted > 0 || st.RaceAccessesRetracted > 0 {
-		fmt.Fprintf(os.Stderr, "race: detected=%d reports-retracted=%d accesses-retracted=%d\n",
-			st.RacesDetected, st.RaceReportsRetracted, st.RaceAccessesRetracted)
+	if st.RacesDetected > 0 || st.RaceReportsRetracted > 0 || st.RaceAccessesRetracted > 0 || st.RaceChecksSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "race: detected=%d reports-retracted=%d accesses-retracted=%d checks-skipped=%d\n",
+			st.RacesDetected, st.RaceReportsRetracted, st.RaceAccessesRetracted, st.RaceChecksSkipped)
 	}
 	for _, th := range rt.Scheduler().Threads() {
 		fmt.Fprintf(os.Stderr, "thread %-12s prio=%d start=%d end=%d cpu=%d\n",

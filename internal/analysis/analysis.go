@@ -167,6 +167,9 @@ type Facts struct {
 	// volatile-bypass access patterns.
 	Races    []Race           `json:"races,omitempty"`
 	Bypasses []VolatileBypass `json:"volatile_bypasses,omitempty"`
+	// Confinements classifies every acquired multi-instance behavioral
+	// lock name as thread-confined, shared or unknown (escape.go).
+	Confinements []Confinement `json:"confinements,omitempty"`
 	// TotalStores and ElidableStores count the program's reachable store
 	// instructions and how many can skip the write-barrier slow path;
 	// NeverHeldStores and FreshStores split the elidable count by proof
@@ -185,6 +188,9 @@ type Facts struct {
 	elidable  map[Pos]bool
 	neverHeld map[Pos]bool
 	certAt    map[certKey]*Certificate
+	// confined maps each elidable confined MONITORENTER position to its
+	// paired MONITOREXIT pcs (escape.go).
+	confined map[Pos][]int
 }
 
 // Analyze runs every pass over p. The program must verify (Analyze runs
@@ -228,6 +234,7 @@ func Analyze(p *bytecode.Program) (*Facts, error) {
 	f.buildLockOrder()
 	f.computeElision()
 	f.computeRaces()
+	f.computeEscape()
 	f.computeDeadlocks()
 	f.computePermissions()
 	f.normalize()

@@ -129,25 +129,39 @@ func multiInstance(id string) bool {
 // computeDeadlocks builds the behavioral lock-order graph and fills
 // Facts.Deadlocks. Runs after discoverSections and buildLockOrder.
 func (f *Facts) computeDeadlocks() {
+	// Recursive contract inference (contracts.go): a nominal recv:/argN:
+	// name whose parameter binding closes over concrete names contributes
+	// every bound name; recursion saturates the bindings where bounded
+	// unfolding would truncate the evidence.
+	binds := f.paramBindings()
+	resolve := func(mi *methodInfo, ep int) []string {
+		return resolveLockName(f.behavLockID(mi, ep), mi.m.Name, binds)
+	}
+
 	// The saturated acquisition system: discoverSections already has one
 	// Section per acquisition site in EVERY method — spawned bodies
 	// included — so re-deriving lockorder.go's edges under the behavioral
 	// naming, self-edges kept, is the contract unfolding's order component.
-	lockOf := make(map[Pos]string, len(f.Sections))
+	lockOf := make(map[Pos][]string, len(f.Sections))
 	for _, s := range f.Sections {
 		if s.SyncMethod {
-			lockOf[s.Enter] = s.Lock
+			lockOf[s.Enter] = resolveLockName(s.Lock, s.Enter.Method, binds)
 		} else {
-			lockOf[s.Enter] = f.behavLockID(f.methods[s.Enter.Method], s.Enter.PC)
+			lockOf[s.Enter] = resolve(f.methods[s.Enter.Method], s.Enter.PC)
 		}
 	}
 
 	var edges []LockEdge
 	seen := make(map[LockEdge]bool)
-	add := func(e LockEdge) {
-		if !seen[e] {
-			seen[e] = true
-			edges = append(edges, e)
+	add := func(froms []string, to []string, at, outer Pos) {
+		for _, from := range froms {
+			for _, t := range to {
+				e := LockEdge{From: from, To: t, At: at, Outer: outer}
+				if !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+				}
+			}
 		}
 	}
 	for _, s := range f.Sections {
@@ -155,7 +169,7 @@ func (f *Facts) computeDeadlocks() {
 		mi := f.methods[s.Enter.Method]
 		for _, pc := range s.PCs {
 			if mi.m.Code[pc].Op == bytecode.MONITORENTER && pc != s.Enter.PC {
-				add(LockEdge{From: from, To: f.behavLockID(mi, pc), At: Pos{mi.m.Name, pc}, Outer: s.Enter})
+				add(from, resolve(mi, pc), Pos{mi.m.Name, pc}, s.Enter)
 			}
 		}
 		for _, callee := range s.Callees {
@@ -164,11 +178,11 @@ func (f *Facts) computeDeadlocks() {
 				continue
 			}
 			if ci.m.Synchronized {
-				add(LockEdge{From: from, To: "recv:" + baseName(callee), At: Pos{callee, 0}, Outer: s.Enter})
+				add(from, resolveLockName("recv:"+baseName(callee), callee, binds), Pos{callee, 0}, s.Enter)
 			}
 			for pc, in := range ci.m.Code {
 				if in.Op == bytecode.MONITORENTER && ci.depth[pc] >= 0 {
-					add(LockEdge{From: from, To: f.behavLockID(ci, pc), At: Pos{callee, pc}, Outer: s.Enter})
+					add(from, resolve(ci, pc), Pos{callee, pc}, s.Enter)
 				}
 			}
 		}
@@ -183,12 +197,13 @@ func (f *Facts) computeDeadlocks() {
 	reach := f.threadReachability()
 	acq := make(map[string]map[string]bool)
 	for _, s := range f.Sections {
-		l := lockOf[s.Enter]
-		for t := range reach[s.Enter.Method] {
-			if acq[l] == nil {
-				acq[l] = make(map[string]bool)
+		for _, l := range lockOf[s.Enter] {
+			for t := range reach[s.Enter.Method] {
+				if acq[l] == nil {
+					acq[l] = make(map[string]bool)
+				}
+				acq[l][t] = true
 			}
-			acq[l][t] = true
 		}
 	}
 	selfEdges := make(map[string][]LockEdge)

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bytecode"
 )
@@ -56,6 +57,17 @@ const (
 	// non-revocable section (and the compiling tiers' specialized,
 	// lookup-free entry sequence for it).
 	CertNonRevocable CertKind = "non-revocable"
+	// CertConfined certifies a whole-monitor elision site: the
+	// MONITORENTER (or a MONITOREXIT paired with it) operates on a
+	// thread-confined allocation that never escapes, never waits, and
+	// brackets exactly, so all three tiers compile the instruction to a
+	// charge-only no-op (escape.go derives the sites).
+	CertConfined CertKind = "confined-monitor"
+	// CertRaceFree certifies per-slot race freedom: no candidate race and
+	// no volatile bypass names the slot, so the dynamic race detector may
+	// skip its vector-clock checks. The certificate carries the slot name
+	// and anchors at the slot's first reachable access.
+	CertRaceFree CertKind = "race-free"
 )
 
 // Certificate is one machine-checkable discharged obligation. Pos is the
@@ -65,10 +77,13 @@ type Certificate struct {
 	Kind CertKind `json:"kind"`
 	Pos  Pos      `json:"pos"`
 	// Perm is the permission-lattice point that discharges the obligation:
-	// "1/never-held", "1/fresh", or "section/non-revocable".
+	// "1/never-held", "1/fresh", "section/non-revocable",
+	// "monitor/thread-confined" or "slot/race-free".
 	Perm string `json:"perm"`
 	// Evidence is the human-readable proof witness.
 	Evidence string `json:"evidence,omitempty"`
+	// Slot names the certified heap slot for race-free certificates.
+	Slot string `json:"slot,omitempty"`
 }
 
 func (c *Certificate) String() string {
@@ -84,6 +99,8 @@ const (
 	permNeverHeld = "1/never-held"
 	permFresh     = "1/fresh"
 	permNonRev    = "section/non-revocable"
+	permConfined  = "monitor/thread-confined"
+	permRaceFree  = "slot/race-free"
 )
 
 // computePermissions issues one certificate per obligation the earlier
@@ -135,6 +152,43 @@ func (f *Facts) computePermissions() {
 				Evidence: fmt.Sprintf("region section at %s@%d can never roll back; the spill is only read by its unreachable RESTORESTACK", m.Name, spc+2),
 			})
 		}
+	}
+
+	// Whole-monitor elision sites (escape.go): one certificate at the
+	// enter and one at every paired exit, so each compiled no-op is
+	// individually gated.
+	enters := make([]Pos, 0, len(f.confined))
+	for p := range f.confined {
+		enters = append(enters, p)
+	}
+	sortPos(enters)
+	for _, p := range enters {
+		exits := f.confined[p]
+		issue(&Certificate{
+			Kind: CertConfined, Pos: p, Perm: permConfined,
+			Evidence: fmt.Sprintf("thread-confined allocation: lock never escapes, never waits, brackets exactly; exit pcs %v", exits),
+		})
+		for _, epc := range exits {
+			issue(&Certificate{
+				Kind: CertConfined, Pos: Pos{p.Method, epc}, Perm: permConfined,
+				Evidence: fmt.Sprintf("releases the confined monitorenter at %v", p),
+			})
+		}
+	}
+
+	// Race-free slots: confinement + lockset facts cover every reachable
+	// access with no racy pair, so the dynamic detector may skip the slot.
+	obls := f.raceFreeObligations()
+	slots := make([]string, 0, len(obls))
+	for s := range obls {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+	for _, slot := range slots {
+		issue(&Certificate{
+			Kind: CertRaceFree, Pos: obls[slot], Perm: permRaceFree, Slot: slot,
+			Evidence: "no candidate race or volatile bypass names this slot over every thread-reachable access",
+		})
 	}
 }
 
@@ -228,6 +282,30 @@ func (f *Facts) VerifyCertificates() error {
 	for _, m := range f.prog.Methods {
 		for _, spc := range f.deadSavestackPCs(m) {
 			want[certKey{Pos{m.Name, spc}, CertDeadSavestack}] = permNonRev
+		}
+	}
+
+	// Re-derive the whole-monitor elision sites from the program; a
+	// tampered section list (a deleted or edited acquisition) shifts the
+	// derivation and surfaces as a missing or stale certificate below.
+	_, elide := f.escapeResults()
+	for p, exits := range elide {
+		want[certKey{p, CertConfined}] = permConfined
+		for _, epc := range exits {
+			want[certKey{Pos{p.Method, epc}, CertConfined}] = permConfined
+		}
+	}
+
+	// Re-derive the race-free slot set; removing a race finding without
+	// re-running the analysis creates an uncertified obligation here.
+	slotAt := make(map[Pos]string)
+	for slot, pos := range f.raceFreeObligations() {
+		want[certKey{pos, CertRaceFree}] = permRaceFree
+		slotAt[pos] = slot
+	}
+	for k, c := range f.certAt {
+		if k.kind == CertRaceFree && c.Slot != slotAt[k.pos] {
+			return fmt.Errorf("analysis: race-free certificate at %v names slot %q; obligation re-derives as %q", k.pos, c.Slot, slotAt[k.pos])
 		}
 	}
 

@@ -214,7 +214,14 @@ func (f *Facts) computeRaces() {
 		slots = append(slots, s)
 	}
 	sort.Strings(slots)
+	// Confinement refinement (escape.go): a field slot whose every access
+	// dereferences a provably thread-confined object cannot race even
+	// though its multi-instance lock earns no lockset credit.
+	confinedRecv := f.confinedReceiverSlots()
 	for _, slot := range slots {
+		if confinedRecv[slot] {
+			continue
+		}
 		accs := perSlot[slot]
 		racy := make([]bool, len(accs))
 		for i := range accs {

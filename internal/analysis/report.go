@@ -50,6 +50,10 @@ func (f *Facts) normalize() {
 		return a.Kind < b.Kind
 	})
 	sort.Slice(f.Races, func(i, j int) bool { return f.Races[i].Slot < f.Races[j].Slot })
+	sort.Slice(f.Confinements, func(i, j int) bool { return f.Confinements[i].Lock < f.Confinements[j].Lock })
+	for i := range f.Confinements {
+		sortPos(f.Confinements[i].Sites)
+	}
 	sort.Slice(f.Bypasses, func(i, j int) bool {
 		a, b := f.Bypasses[i], f.Bypasses[j]
 		if a.Slot != b.Slot {

@@ -20,9 +20,13 @@ import (
 // elisionBenchProgram is store-heavy by construction: the hot helper writes
 // a fresh object and a global outside any section on every lap (all
 // statically elidable), while the small synchronized section keeps the
-// write barrier's logging path live for comparison.
+// write barrier's logging path live for comparison. The lock is published
+// to a static so the escape analysis cannot prove it thread-confined —
+// whole-monitor elision would otherwise remove the very logging path the
+// barriers half of the pair measures.
 const elisionBenchProgram = `
 static g = 0
+static lockRef = 0
 class Lock {
     unused
 }
@@ -33,6 +37,8 @@ thread main priority 5 run main
 method main locals 2 {
     newobj Lock
     store 0
+    load 0
+    putstatic lockRef
     const 200
     store 1
   loop:

@@ -28,8 +28,10 @@ type KeyBench struct {
 
 // KeyBenches returns the ns/op series the regression gate guards: the
 // write-barrier fast paths, the flight recorder's steady-state append, the
-// compact lock word's uncontended operations, and the execution-tier
-// dispatch comparison. The
+// compact lock word's uncontended operations (including the "confined"
+// charge-only no-op a certified whole-monitor elision compiles to), the
+// ConfinedMonitorEnterExit off/on pair the escape analysis buys end to
+// end, and the execution-tier dispatch comparison. The
 // "nonrevocable" monitor variant is recorded in reports but NOT gated:
 // it allocates per operation, so GC timing swings it far past any
 // useful threshold on shared CI machines.
@@ -39,10 +41,14 @@ func KeyBenches() []KeyBench {
 		{"ElidedWriteBarrier", ElidedWriteBarrierBench},
 		{"FlightRecorderAppend", FlightRecorderAppendBench},
 	}
-	for _, v := range []string{"thin", "inflated"} {
+	for _, v := range []string{"thin", "inflated", "confined"} {
 		kb = append(kb, KeyBench{"MonitorEnterUncontended/" + v, MonitorEnterUncontendedBench(v)})
 		kb = append(kb, KeyBench{"MonitorExitUncontended/" + v, MonitorExitUncontendedBench(v)})
 	}
+	kb = append(kb,
+		KeyBench{"ConfinedMonitorEnterExit/off", ConfinedMonitorEnterExitBench(false)},
+		KeyBench{"ConfinedMonitorEnterExit/on", ConfinedMonitorEnterExitBench(true)},
+	)
 	for _, p := range TierPrograms {
 		for _, tier := range []interp.Tier{interp.TierThreaded, interp.TierOpt} {
 			kb = append(kb, KeyBench{"TierDispatch/" + p.Name + "/" + tier.String(), TierDispatchBench(p, tier)})

@@ -105,6 +105,12 @@ func RunReport(label, date string, progress func(BenchResult), latProgress func(
 		add(measure("MonitorExitUncontended/"+v, MonitorExitUncontendedBench(v)))
 	}
 
+	// Whole-monitor elision pair: the same confined-lock loop with real
+	// thin-lock monitors and with the certified elision applied; the
+	// off/on delta is what the escape analysis buys per monitor op.
+	add(measure("ConfinedMonitorEnterExit/off", ConfinedMonitorEnterExitBench(false)))
+	add(measure("ConfinedMonitorEnterExit/on", ConfinedMonitorEnterExitBench(true)))
+
 	// Execution-tier dispatch: threaded closures vs fused
 	// superinstructions on re-invoked hot methods.
 	for _, p := range TierPrograms {

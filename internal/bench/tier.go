@@ -17,10 +17,13 @@ import (
 // MonitorVariants are the uncontended-acquisition shapes the lock-word
 // benchmarks cover: "thin" is the single-word fast path, "inflated" pins
 // the monitor on the full prioritized-queue representation
-// (Config.DisableThinLocks), and "nonrevocable" goes through the core
+// (Config.DisableThinLocks), "nonrevocable" goes through the core
 // engine's fused non-revocable entry — the path tier-3 compiles statically
-// proven sections to, including section-frame bookkeeping.
-var MonitorVariants = []string{"thin", "inflated", "nonrevocable"}
+// proven sections to, including section-frame bookkeeping — and
+// "confined" is the charge-only no-op a certified thread-confined
+// enter/exit compiles to (the whole-monitor elision of the escape pass):
+// no lock word is touched at all, only the elision counter.
+var MonitorVariants = []string{"thin", "inflated", "nonrevocable", "confined"}
 
 // monitorPairBench builds the shared enter+exit measurement. One benchmark
 // iteration is one uncontended monitorenter plus its matching monitorexit;
@@ -43,6 +46,15 @@ func monitorPairBench(variant string) func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					tk.EngineEnterNonRevocable(m, "bench")
 					tk.EngineExit(m)
+				}
+			case "confined":
+				// The certified no-op never consults the monitor: the
+				// runtime work of an elided enter or exit is one stats
+				// increment (the interpreter's null check is on its own
+				// operand stack, not on the lock word).
+				for i := 0; i < b.N; i++ {
+					tk.CountConfinedElision()
+					tk.CountConfinedElision()
 				}
 			default:
 				for i := 0; i < b.N; i++ {

@@ -244,6 +244,7 @@ type Stats struct {
 	StaticPreMarks     int64         `json:"static_premarks"`    // monitors pre-marked non-revocable by static analysis
 	AllocsLogged       int64         `json:"allocs_logged"`      // whole-allocation undo entries (static elision support)
 	RawStores          int64         `json:"raw_stores"`         // statically elided stores executed barrier-free
+	ConfinedElisions   int64         `json:"confined_elisions"`  // certified confined monitorenter/exit pairs executed as no-ops
 
 	// Compact lock word (internal/monitor).
 	ThinAcquisitions int64 `json:"thin_acquisitions"` // ownership transfers on the thin fast path
@@ -254,6 +255,7 @@ type Stats struct {
 	RacesDetected         int64 `json:"races_detected"`          // confirmed reports emitted
 	RaceReportsRetracted  int64 `json:"race_reports_retracted"`  // pending reports dropped because an endpoint rolled back
 	RaceAccessesRetracted int64 `json:"race_accesses_retracted"` // access records retracted by rollbacks
+	RaceChecksSkipped     int64 `json:"race_checks_skipped"`     // accesses skipped on certified race-free slots
 }
 
 // Runtime hosts a simulated VM instance.
@@ -403,6 +405,7 @@ func (rt *Runtime) Stats() Stats {
 	}
 	if rt.cfg.Race != nil {
 		s.RacesDetected, s.RaceReportsRetracted, s.RaceAccessesRetracted = rt.cfg.Race.Stats()
+		s.RaceChecksSkipped = rt.cfg.Race.ChecksSkipped()
 	}
 	return s
 }

@@ -125,6 +125,11 @@ func (t *Task) RegisterAllocArray(a *heap.Array) {
 // be needed.
 func (t *Task) CountRawStore() { t.rt.stats.RawStores++ }
 
+// CountConfinedElision records the execution of a certified confined
+// MONITORENTER or MONITOREXIT as a charge-only no-op: analysis proved no
+// second thread can ever reach the monitor's object.
+func (t *Task) CountConfinedElision() { t.rt.stats.ConfinedElisions++ }
+
 // SetLockSite names the bytecode site of the next monitor acquisition for
 // the wait-for-graph observer's cycle reports. The interpreter calls it
 // before each monitorenter when Config.OnDeadlock is set.

@@ -19,14 +19,14 @@ import (
 func exampleSources(t *testing.T) []string {
 	t.Helper()
 	var srcs []string
-	for _, dir := range []string{"bytecode", "racy", "deadlock", "deadlock2", "aliasdl"} {
+	for _, dir := range []string{"bytecode", "racy", "deadlock", "deadlock2", "aliasdl", "confined", "escape", "recdl"} {
 		matches, err := filepath.Glob(filepath.Join("..", "..", "examples", dir, "*.rvm"))
 		if err != nil {
 			t.Fatal(err)
 		}
 		srcs = append(srcs, matches...)
 	}
-	if len(srcs) < 8 {
+	if len(srcs) < 11 {
 		t.Fatalf("found only %d example programs: %v", len(srcs), srcs)
 	}
 	return srcs
@@ -127,12 +127,15 @@ func TestDynamicDeadlocksSubsetOfStatic(t *testing.T) {
 	}
 }
 
-// TestDeadlockExamplesWitnessed pins that the three seeded deadlock
-// examples actually deadlock at runtime on the deterministic scheduler —
-// keeping the subset test above non-vacuous — and that the revocation
-// VM's own detector then breaks every cycle so the run completes.
+// TestDeadlockExamplesWitnessed pins that the seeded deadlock examples
+// actually deadlock at runtime on the deterministic scheduler — keeping
+// the subset test above non-vacuous — and that the revocation VM's own
+// detector then breaks every cycle so the run completes. recdl is the
+// recursion-only shape: its cycle exists statically only through the
+// recursive contract inference, and dynamically only past recursion
+// depth one.
 func TestDeadlockExamplesWitnessed(t *testing.T) {
-	for _, name := range []string{"deadlock/deadlock.rvm", "deadlock2/deadlock2.rvm", "aliasdl/aliasdl.rvm"} {
+	for _, name := range []string{"deadlock/deadlock.rvm", "deadlock2/deadlock2.rvm", "aliasdl/aliasdl.rvm", "recdl/recdl.rvm"} {
 		name := name
 		t.Run(filepath.Base(name), func(t *testing.T) {
 			prog, facts := prepareExample(t, filepath.Join("..", "..", "examples", name))
@@ -272,7 +275,75 @@ method spill locals 1 returns {
 	if audited[analysis.CertDeadSavestack] == 0 {
 		t.Error("audit vacuous: no dead-SAVESTACK elision executed")
 	}
+	if audited[analysis.CertConfined] == 0 {
+		t.Error("audit vacuous: no confined-monitor elision executed (examples/confined should exercise it)")
+	}
 	t.Logf("audited elisions: %v", audited)
+}
+
+// TestNewEnvRejectsTamperedEscapeFacts covers the two certificate kinds
+// the escape pass issues. Staling a confined-monitor certificate (editing
+// the program so the proved enter/exit bracketing no longer re-derives)
+// and forging a race-free obligation (erasing the race findings that
+// excluded a slot) must both fail the load gate on every tier.
+func TestNewEnvRejectsTamperedEscapeFacts(t *testing.T) {
+	rejectAll := func(t *testing.T, prog *bytecode.Program, facts *analysis.Facts) {
+		t.Helper()
+		for _, tier := range allTiers {
+			rt := core.New(core.Config{Mode: core.Revocation, Sched: sched.Config{Quantum: 1000}})
+			_, err := NewEnv(rt, prog, Options{Rewritten: true, Tier: tier, Facts: facts})
+			if err == nil {
+				t.Fatalf("%v tier: tampered facts accepted", tier)
+			}
+			if !strings.Contains(err.Error(), "certificate") {
+				t.Fatalf("%v tier: error %v does not name the certificate gate", tier, err)
+			}
+		}
+	}
+
+	t.Run("stale_confined_cert", func(t *testing.T) {
+		prog, facts := prepareExample(t, filepath.Join("..", "..", "examples", "confined", "confined.rvm"))
+		// Break the bracketing proof behind one issued confined-monitor
+		// certificate: swap an in-section STORE for a WAIT (identical
+		// stack effect and monitor balance, so the bytecode still
+		// verifies), which disqualifies the section from whole-monitor
+		// elision — the re-derivation finds no clean pairing and the
+		// issued certificate is stale.
+		tampered := false
+		for _, m := range prog.Methods {
+			for pc := range m.Code {
+				if m.Code[pc].Op != bytecode.MONITORENTER || tampered {
+					continue
+				}
+				exits, ok := facts.ConfinedExits(m.Name, pc)
+				if !ok || len(exits) == 0 {
+					continue
+				}
+				for tp := pc + 1; tp < exits[0]; tp++ {
+					if m.Code[tp].Op == bytecode.STORE {
+						m.Code[tp] = bytecode.Instr{Op: bytecode.WAIT}
+						tampered = true
+						break
+					}
+				}
+			}
+		}
+		if !tampered {
+			t.Fatal("confined example carries no whole-monitor elision plan")
+		}
+		rejectAll(t, prog, facts)
+	})
+
+	t.Run("forged_race_free_obligation", func(t *testing.T) {
+		prog, facts := prepareExample(t, filepath.Join("..", "..", "examples", "racy", "counter.rvm"))
+		if len(facts.Races) == 0 {
+			t.Fatal("counter example reports no candidate races")
+		}
+		// Erasing the findings turns the racy slot into a race-free
+		// obligation that no certificate discharges.
+		facts.Races = nil
+		rejectAll(t, prog, facts)
+	})
 }
 
 // TestNewEnvRejectsTamperedFacts: handing the interpreter a fact set

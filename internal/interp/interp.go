@@ -153,6 +153,12 @@ type Env struct {
 	// hotness feed and the per-tier method accounting for TierCounts.
 	calls map[*bytecode.Method]int
 
+	// confined caches, per method, the certificate-gated whole-monitor
+	// elision plan: pc -> confinedEnter/confinedExit for MONITORENTER/EXIT
+	// sites the escape analysis proved thread-confined. A nil map value
+	// (still present in the cache) means the method has no elided sites.
+	confined map[*bytecode.Method]map[int]int8
+
 	// raceOn caches Config.Race != nil: heap-access instructions then stamp
 	// their bytecode site on the task so race reports can name it.
 	raceOn bool
@@ -216,6 +222,7 @@ func NewEnv(rt *core.Runtime, prog *bytecode.Program, opts Options) (*Env, error
 		compiled:    map[*bytecode.Method][]opFunc{},
 		optCompiled: map[*bytecode.Method][]opFunc{},
 		calls:       map[*bytecode.Method]int{},
+		confined:    map[*bytecode.Method]map[int]int8{},
 		raceOn:      rt.Config().Race != nil,
 		profOn:      rt.Config().Profiler != nil,
 		dlOn:        rt.Config().OnDeadlock != nil,
@@ -548,6 +555,55 @@ func (in *Interp) fail(f string, args ...any) {
 	in.err = fmt.Errorf("interp: "+f, args...)
 }
 
+// Confined-elision plan markers: the per-method map produced by
+// Env.confinedIn tags each elidable pc with the operation it replaces.
+const (
+	confinedEnter int8 = 1
+	confinedExit  int8 = 2
+)
+
+// confinedIn resolves (and caches) the whole-monitor elision plan for m:
+// every MONITORENTER the escape analysis proved thread-confined, together
+// with its bracketing MONITOREXIT pcs, becomes a charge-only no-op. Each
+// site is admitted only when the enter and every one of its exits carry a
+// verified confined-monitor certificate — a plan entry without its full
+// certificate set is dropped, never partially applied.
+func (e *Env) confinedIn(m *bytecode.Method) map[int]int8 {
+	if ops, ok := e.confined[m]; ok {
+		return ops
+	}
+	var ops map[int]int8
+	if facts := e.Opts.Facts; facts != nil {
+		for pc, ins := range m.Code {
+			if ins.Op != bytecode.MONITORENTER {
+				continue
+			}
+			exits, ok := facts.ConfinedExits(m.Name, pc)
+			if !ok {
+				continue
+			}
+			good := facts.RequireCert(m.Name, pc, analysis.CertConfined) == nil
+			for _, ep := range exits {
+				if facts.RequireCert(m.Name, ep, analysis.CertConfined) != nil {
+					good = false
+				}
+			}
+			if !good {
+				continue
+			}
+			if ops == nil {
+				ops = map[int]int8{}
+			}
+			ops[pc] = confinedEnter
+			for _, ep := range exits {
+				ops[ep] = confinedExit
+			}
+		}
+	}
+	e.confined[m] = ops
+	return ops
+}
+
 // monitorFor resolves an object ref to its monitor, raising
 // NullPointerException for a bad ref.
 func (in *Interp) monitorFor(ref heap.Word) (*monitor.Monitor, bool) {
@@ -746,6 +802,19 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 		in.task.RaceRawWriteElem(a, int(idx))
 
 	case bytecode.MONITORENTER:
+		if in.env.confinedIn(f.m)[f.pc] == confinedEnter {
+			// Certified thread-confined monitor: no second thread can ever
+			// reach the object, so acquisition is a charge-only no-op. The
+			// ref is still popped and null-checked for NPE parity.
+			if _, ok := in.object(f.pop()); !ok {
+				return
+			}
+			in.task.CountConfinedElision()
+			if audit := in.env.Opts.ElisionAudit; audit != nil {
+				audit(analysis.CertConfined, f.m.Name, f.pc)
+			}
+			break
+		}
 		m, ok := in.monitorFor(f.pop())
 		if !ok {
 			return
@@ -774,6 +843,16 @@ func (in *Interp) exec(f *frame, instr bytecode.Instr) {
 			coreDepth: depth,
 		})
 	case bytecode.MONITOREXIT:
+		if in.env.confinedIn(f.m)[f.pc] == confinedExit {
+			if _, ok := in.object(f.pop()); !ok {
+				return
+			}
+			in.task.CountConfinedElision()
+			if audit := in.env.Opts.ElisionAudit; audit != nil {
+				audit(analysis.CertConfined, f.m.Name, f.pc)
+			}
+			break
+		}
 		m, ok := in.monitorFor(f.pop())
 		if !ok {
 			return

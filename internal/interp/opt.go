@@ -313,6 +313,27 @@ func (e *Env) fuse(m *bytecode.Method, start, end int, term opFunc, deadSaves ma
 	}
 }
 
+// compileConfinedElision builds the tier-3 closure for a certified
+// thread-confined MONITORENTER or MONITOREXIT: the whole monitor operation
+// is a charge-only no-op — the ref is popped and null-checked for NPE
+// parity, the elision is counted and audited, and control falls through.
+// The certificate check happened at plan-build time (Env.confinedIn), so
+// the closure itself carries no fact lookup.
+func (e *Env) compileConfinedElision(mname string, pc int, head func(*Interp)) opFunc {
+	next := pc + 1
+	return func(in *Interp, f *frame) {
+		head(in)
+		if _, ok := in.object(f.pop()); !ok {
+			return
+		}
+		in.task.CountConfinedElision()
+		if audit := in.env.Opts.ElisionAudit; audit != nil {
+			audit(analysis.CertConfined, mname, pc)
+		}
+		f.pc = next
+	}
+}
+
 // compileOptOne builds the tier-3 closure for one non-fusable
 // instruction: compile-time-resolved where the operand allows it, the
 // threaded tier's closure for branches, exec fallback for the cold rest.
@@ -609,6 +630,9 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 		// proof obligation: a non-revocable fact without a matching
 		// certificate compiles to a hard error, never to a silent
 		// specialization.
+		if e.confinedIn(m)[pc] == confinedEnter {
+			return e.compileConfinedElision(mname, pc, head)
+		}
 		regionIdx := e.regionIndex(m, pc)
 		rewritten := e.Opts.Rewritten
 		nonRev := false
@@ -645,6 +669,9 @@ func (e *Env) compileOptOne(m *bytecode.Method, pc int, instr bytecode.Instr, co
 			f.pc = next
 		}
 	case bytecode.MONITOREXIT:
+		if e.confinedIn(m)[pc] == confinedExit {
+			return e.compileConfinedElision(mname, pc, head)
+		}
 		return func(in *Interp, f *frame) {
 			head(in)
 			mon, ok := in.monitorFor(f.pop())

@@ -196,6 +196,13 @@ type Detector struct {
 	dropped  int64 // pending reports retracted by rollbacks
 	accesses int64
 	retracts int64 // access records retracted
+
+	// certFree holds the certified race-free slot names installed by
+	// SetCertifiedRaceFree; certSkip caches the per-Slot decision so the
+	// hot path never renders a slot name twice.
+	certFree map[string]bool
+	certSkip map[Slot]bool
+	skipped  int64
 }
 
 // New returns an unbound detector; core's Runtime binds it at construction.
@@ -449,8 +456,38 @@ func (d *Detector) VolatileWrite(tid int, slot Slot, site Site) {
 	t.vc[tid] = t.clk
 }
 
+// SetCertifiedRaceFree installs the certified race-free slot set (the
+// slot names carried by the analysis' CertRaceFree certificates). Checks
+// on those slots are skipped and counted; synchronization edges — monitor
+// acquire/release and the volatile clock joins performed OUTSIDE check —
+// are never skipped, so happens-before reasoning for every other slot is
+// unchanged, and per-slot FastTrack state independence keeps the skip
+// from perturbing any non-certified slot's verdicts.
+func (d *Detector) SetCertifiedRaceFree(names map[string]bool) {
+	if len(names) == 0 {
+		return
+	}
+	d.certFree = names
+	d.certSkip = make(map[Slot]bool)
+}
+
+// ChecksSkipped returns how many accesses were skipped on certified
+// race-free slots.
+func (d *Detector) ChecksSkipped() int64 { return d.skipped }
+
 // check is the FastTrack slot check plus history recording.
 func (d *Detector) check(tid int, slot Slot, site Site, isWrite, vol, raw bool) {
+	if d.certFree != nil {
+		sk, ok := d.certSkip[slot]
+		if !ok {
+			sk = d.certFree[d.slotName(slot)]
+			d.certSkip[slot] = sk
+		}
+		if sk {
+			d.skipped++
+			return
+		}
+	}
 	t := d.ts(tid)
 	vs := d.vars[slot]
 	if vs == nil {

@@ -141,8 +141,12 @@ func TestStaticElisionRollbackEquivalence(t *testing.T) {
 // ZERO undo entries, where the dynamic-only VM logs every store that
 // precedes the native call.
 func TestPreMarkedSectionLogsNothing(t *testing.T) {
+	// The lock escapes through a static on purpose: a confined lock would
+	// be whole-monitor elided, and this test is about the pre-mark on a
+	// REAL monitorenter.
 	const prog = `
 static g = 0
+static lockRef = 0
 class Lock {
     unused
 }
@@ -150,6 +154,8 @@ thread main priority 5 run main
 method main locals 1 {
     newobj Lock
     store 0
+    load 0
+    putstatic lockRef
     sync 0 {
         const 1
         putstatic g
