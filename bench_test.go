@@ -221,6 +221,13 @@ func BenchmarkFlightRecorderAppend(b *testing.B) {
 	bench.FlightRecorderAppendBench(b)
 }
 
+// BenchmarkCritPathBuild times happens-before DAG construction, invariant
+// check and critical-path extraction over a pre-recorded cell stream —
+// the post-processing a -critpath run adds after the program finishes.
+func BenchmarkCritPathBuild(b *testing.B) {
+	bench.CritPathBuildBench(b)
+}
+
 // BenchmarkFlightRecorderCell runs the same contended 2+8 cell with the
 // flight recorder detached and attached; the off/on delta is the
 // recorder's whole-run overhead.

@@ -13,6 +13,11 @@
 //	                                 distributions of many dumps and
 //	                                 results/BENCH_*.json trajectory files
 //	                                 into one p50/p99/p99.9 report
+//	rvmfr critpath FILE              build the happens-before DAG from the
+//	                                 window and print the critical-path
+//	                                 attribution (best-effort on wrapped
+//	                                 rings; exact with invariant check on
+//	                                 complete streams)
 //
 // Exit status is 0 on success, 1 on any unreadable or invalid input, 2 on
 // usage errors.
@@ -25,6 +30,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/causal"
 	"repro/internal/fr"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -40,7 +46,8 @@ func usage(errw io.Writer) int {
   rvmfr events FILE                     event window, one line per event
   rvmfr jsonl [-o OUT] FILE             convert to rvm-trace JSONL
   rvmfr perfetto [-o OUT] FILE          convert to a Perfetto trace
-  rvmfr merge [-json] [-o OUT] INPUT... fleet SLO merge over dumps and BENCH files`)
+  rvmfr merge [-json] [-o OUT] INPUT... fleet SLO merge over dumps and BENCH files
+  rvmfr critpath FILE                   critical-path attribution of the event window`)
 	return 2
 }
 
@@ -66,6 +73,13 @@ func run(out, errw io.Writer, args []string) int {
 			return usage(errw)
 		}
 		err = events(out, rest[0])
+	case "critpath":
+		if len(rest) != 1 {
+			return usage(errw)
+		}
+		if err = critpath(out, rest[0]); err != nil {
+			fmt.Fprintf(errw, "rvmfr: %s: %v\n", rest[0], err)
+		}
 	case "jsonl", "perfetto":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		fs.SetOutput(errw)
@@ -222,6 +236,33 @@ func convertJSONL(w io.Writer, path string) error {
 		return err
 	}
 	return d.WriteJSONL(w)
+}
+
+// critpath builds the happens-before DAG from the dump's event window —
+// the same pure causal.Build path rvmrun -critpath runs on the live
+// stream, so a post-mortem attributes identically to a live run. A
+// wrapped ring loses its prefix: the build falls back to best-effort
+// (synthetic thread starts, no invariant claim) and says so.
+func critpath(w io.Writer, path string) error {
+	d, err := readDump(path)
+	if err != nil {
+		return err
+	}
+	g, err := causal.Build(d.Events, causal.Options{AllowTruncated: d.Truncated})
+	if err != nil {
+		return err
+	}
+	if d.Truncated {
+		fmt.Fprintf(w, "# wrapped ring: %d older events overwritten; attribution is best-effort\n", d.Lost)
+	} else if err := g.CheckInvariant(); err != nil {
+		return fmt.Errorf("critical-path invariant FAILED: %w", err)
+	}
+	a, err := g.CriticalPath()
+	if err != nil {
+		return err
+	}
+	causal.RenderReport(w, g, a, 5)
+	return nil
 }
 
 func convertPerfetto(w io.Writer, path string) error {

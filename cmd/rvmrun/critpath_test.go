@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/causal"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/rewrite"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// runPipelineExample executes examples/pipeline with the default rvmrun
+// configuration (revocation VM, rewrite, quantum 1000) and a trace
+// recorder attached, returning the stream and the runtime.
+func runPipelineExample(t *testing.T) ([]trace.Event, *core.Runtime) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "pipeline", "pipeline.rvm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bytecode.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bytecode.Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	prog, err = rewrite.Rewrite(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	rt := core.New(core.Config{
+		Mode:              core.Revocation,
+		TrackDependencies: true,
+		DeadlockDetection: true,
+		Observer:          rec,
+		Sched:             sched.Config{Quantum: 1000},
+	})
+	if _, err := interp.Run(rt, prog, interp.Options{Rewritten: true}); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events(), rt
+}
+
+// TestPipelineCritPathGolden pins the exact -critpath report for the
+// pipeline example — the program built so the hottest monitor by raw
+// contention (the chatter lock) is NOT the critical monitor (the
+// pipeline lock whose inversion and revocation sit on the makespan
+// chain). The deterministic VM makes every tick in the report stable.
+func TestPipelineCritPathGolden(t *testing.T) {
+	events, rt := runPipelineExample(t)
+	g, err := causal.Build(events, causal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if g.FinalClock != rt.Now() {
+		t.Fatalf("DAG clock %d != runtime clock %d", g.FinalClock, rt.Now())
+	}
+	a, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The program's raison d'être: hottest != critical.
+	crit, raw := a.TopCritical(1), a.TopRaw(1)
+	if len(crit) == 0 || len(raw) == 0 {
+		t.Fatalf("missing contention: critical %v raw %v", crit, raw)
+	}
+	if crit[0].Monitor == raw[0].Monitor {
+		t.Fatalf("critical monitor %q == hottest monitor %q — the example no longer separates them", crit[0].Monitor, raw[0].Monitor)
+	}
+
+	var buf bytes.Buffer
+	causal.RenderReport(&buf, g, a, 5)
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "pipeline.critpath.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("critpath report drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPipelineWhatIfAcceptance is the PR's headline acceptance property:
+// the exact what-if speedup for eliding the CRITICAL monitor is strictly
+// larger than for eliding the HOTTEST-by-raw-contention monitor, with a
+// tick-identical zero-perturbation control.
+func TestPipelineWhatIfAcceptance(t *testing.T) {
+	events, rt := runPipelineExample(t)
+	g, err := causal.Build(events, causal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	critMon := a.TopCritical(1)[0].Monitor
+	hotMon := a.TopRaw(1)[0].Monitor
+
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "pipeline", "pipeline.rvm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := whatifRunner(causalCLIOpts{
+		src:         string(src),
+		mode:        core.Revocation,
+		rewriteProg: true,
+		quantum:     1000,
+	})
+	baseline, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Clock != rt.Now() {
+		t.Fatalf("baseline re-execution clock %d != original %d", baseline.Clock, rt.Now())
+	}
+	w, err := causal.RunWhatIf(baseline, run, []causal.Experiment{
+		{Name: "uncontended:" + critMon, Kind: "uncontended", Target: critMon,
+			Perturb: &core.Perturb{Uncontended: map[string]bool{critMon: true}}},
+		{Name: "uncontended:" + hotMon, Kind: "uncontended", Target: hotMon,
+			Perturb: &core.Perturb{Uncontended: map[string]bool{hotMon: true}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.ControlOK {
+		t.Fatalf("zero-perturbation control diverged: %+v vs %+v", w.Control, w.Baseline)
+	}
+	var critUp, hotUp int64 = -1 << 62, -1 << 62
+	for _, r := range w.Results {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.Name, r.Err)
+		}
+		switch r.Target {
+		case critMon:
+			critUp = r.SpeedupTicks
+		case hotMon:
+			hotUp = r.SpeedupTicks
+		}
+	}
+	if critUp <= 0 {
+		t.Errorf("eliding the critical monitor %s bought %d ticks, want > 0", critMon, critUp)
+	}
+	if critUp <= hotUp {
+		t.Errorf("critical monitor speedup %d <= hottest monitor speedup %d — critical contention must matter more", critUp, hotUp)
+	}
+}

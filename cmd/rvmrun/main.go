@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/bytecode"
+	"repro/internal/causal"
 	"repro/internal/core"
 	"repro/internal/fr"
 	"repro/internal/interp"
@@ -91,6 +92,12 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve live /metrics and /debug/pprof/ profiles on ADDR (e.g. :8080)")
 		httpWait   = flag.Bool("http-wait", false, "with -http: keep serving after the run until interrupted")
 		switchCost = flag.Int64("switch-cost", 0, "context-switch cost in ticks (shows up in the sched profile)")
+
+		critpath         = flag.Bool("critpath", false, "build the happens-before DAG from the trace stream, verify the longest-path==final-clock invariant, and print the critical-path attribution")
+		critpathFolded   = flag.String("critpath-folded", "", "write the critical path as folded stacks to FILE (implies -critpath)")
+		critpathPerfetto = flag.String("critpath-perfetto", "", "write a Perfetto trace with the critical path highlighted to FILE (implies -critpath)")
+		whatif           = flag.Bool("whatif", false, "after the run, re-execute under suggested cost perturbations (zero-contention per monitor, revocation disabled) and report exact virtual speedups")
+		whatifTop        = flag.Int("whatif-top", 2, "with -whatif: perturb the top N critical and top N raw-contended monitors")
 
 		frEnable  = flag.Bool("fr", false, "attach the always-on flight recorder (bounded binary event ring, anomaly-triggered .rvmfr dumps)")
 		frSize    = flag.Int("fr-size", fr.DefaultSize, "flight recorder ring capacity in bytes")
@@ -226,6 +233,23 @@ func main() {
 	var profiler *prof.Profiler
 	if *profileDir != "" || *httpAddr != "" {
 		profiler = prof.New()
+	}
+
+	// Critical-path analysis records the full event stream; with a profiler
+	// attached, the per-tick charge stream additionally attributes critical
+	// work to bytecode sites.
+	causalOn := *critpath || *whatif || *critpathFolded != "" || *critpathPerfetto != ""
+	var (
+		causalRec *trace.Recorder
+		siteRec   *causal.SiteRecorder
+	)
+	if causalOn {
+		causalRec = &trace.Recorder{}
+		obsSinks = append(obsSinks, causalRec)
+		if profiler != nil {
+			siteRec = causal.NewSiteRecorder()
+			profiler.SetSampler(siteRec.Add)
+		}
 	}
 
 	// Flight recorder: always-on binary ring on Config.Observer. The
@@ -377,6 +401,10 @@ func main() {
 				profiler.Total(prof.Work), profiler.Total(prof.Waste),
 				profiler.Total(prof.Block), profiler.Total(prof.Sched))
 		}
+		if observer != nil {
+			fmt.Fprintf(os.Stderr, "obs: spans=%d dropped=%d\n",
+				len(observer.AllSpans()), observer.Dropped())
+		}
 	}
 	if detector != nil {
 		fmt.Fprint(os.Stderr, race.RenderReports(raceReports))
@@ -410,6 +438,26 @@ func main() {
 	}
 	if *profileDir != "" {
 		if err := writeProfiles(profiler, *profileDir); err != nil {
+			fatal(err)
+		}
+	}
+	if causalOn {
+		if err := runCausal(causalRec, siteRec, rt, causalCLIOpts{
+			report:      *critpath || *whatif,
+			foldedPath:  *critpathFolded,
+			perfetto:    *critpathPerfetto,
+			whatif:      *whatif,
+			whatifTop:   *whatifTop,
+			src:         string(src),
+			mode:        mode,
+			rewriteProg: *doRewrite,
+			static:      *static,
+			tier:        tier,
+			threaded:    *threaded,
+			quantum:     *quantum,
+			seed:        *seed,
+			switchCost:  *switchCost,
+		}); err != nil {
 			fatal(err)
 		}
 	}

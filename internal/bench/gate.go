@@ -27,7 +27,8 @@ type KeyBench struct {
 }
 
 // KeyBenches returns the ns/op series the regression gate guards: the
-// write-barrier fast paths, the flight recorder's steady-state append, the
+// write-barrier fast paths, the flight recorder's steady-state append,
+// the critical-path DAG build over a recorded cell stream, the
 // compact lock word's uncontended operations (including the "confined"
 // charge-only no-op a certified whole-monitor elision compiles to), the
 // ConfinedMonitorEnterExit off/on pair the escape analysis buys end to
@@ -40,6 +41,7 @@ func KeyBenches() []KeyBench {
 		{"WriteBarrier", WriteBarrierBench},
 		{"ElidedWriteBarrier", ElidedWriteBarrierBench},
 		{"FlightRecorderAppend", FlightRecorderAppendBench},
+		{"CritPathBuild", CritPathBuildBench},
 	}
 	for _, v := range []string{"thin", "inflated", "confined"} {
 		kb = append(kb, KeyBench{"MonitorEnterUncontended/" + v, MonitorEnterUncontendedBench(v)})

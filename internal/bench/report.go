@@ -44,6 +44,10 @@ type Report struct {
 	// digests (top waste/block sites) of representative cells (see
 	// RunProfiled).
 	Profiler []ProfiledResult `json:"profiler,omitempty"`
+	// CritPath holds the critical-path digests of representative cells —
+	// class totals tiling the makespan and the top critical vs raw
+	// monitors (see RunCritPath).
+	CritPath []CritPathResult `json:"critpath,omitempty"`
 }
 
 // measure runs one benchmark body under testing.Benchmark.
@@ -96,6 +100,10 @@ func RunReport(label, date string, progress func(BenchResult), latProgress func(
 	// off/on pair, so every report records the overhead of always-on
 	// recording alongside the figures it would capture.
 	add(measure("FlightRecorderAppend", FlightRecorderAppendBench))
+
+	// Critical-path attribution: the post-run DAG build + path extraction
+	// cost over a recorded cell stream (what -critpath adds to a run).
+	add(measure("CritPathBuild", CritPathBuildBench))
 	add(measure("FlightRecorderCell/off", FlightRecorderCellBench(false)))
 	add(measure("FlightRecorderCell/on", FlightRecorderCellBench(true)))
 
@@ -183,6 +191,24 @@ func RunReport(label, date string, progress func(BenchResult), latProgress func(
 		return rep, err
 	}
 	rep.Profiler = profiled
+
+	critpath, err := RunCritPath(func(cr CritPathResult) {
+		if progress != nil {
+			progress(BenchResult{
+				Name:       cr.Name,
+				Iterations: 1,
+				Stats: map[string]int64{
+					"final_clock": cr.FinalClock,
+					"waste_ticks": cr.WasteTicks,
+					"block_ticks": cr.BlockTicks,
+				},
+			})
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.CritPath = critpath
 	return rep, nil
 }
 

@@ -1,0 +1,269 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// PathPiece is one thread's contribution to the critical path: the chain
+// occupied thread Thread from From to To. Pieces tile [0, FinalClock]
+// gaplessly in chronological order.
+type PathPiece struct {
+	Thread string
+	From   simtime.Ticks
+	To     simtime.Ticks
+}
+
+// SiteKey names a bytecode site for per-site attribution.
+type SiteKey struct {
+	Method string
+	PC     int
+}
+
+func (k SiteKey) String() string {
+	if k.Method == "" {
+		return "(thread root)"
+	}
+	return fmt.Sprintf("%s@%d", k.Method, k.PC)
+}
+
+// Attribution is the classified critical path: which thread the makespan
+// chain ran on at every instant, what each tick was spent on, and which
+// monitors' contention actually bounded the program (critical contention)
+// versus merely showing up in the histograms (raw contention).
+type Attribution struct {
+	Clock    simtime.Ticks
+	Pieces   []PathPiece
+	Segments []Segment // critical segments in chronological order
+
+	ClassTotals [NumClasses]simtime.Ticks
+	// CritBlock is blocked ticks ON THE CRITICAL PATH per monitor — the
+	// contention that actually delayed program completion.
+	CritBlock map[string]simtime.Ticks
+	// CritWaste is rolled-back ticks on the critical path per revoked
+	// monitor.
+	CritWaste map[string]simtime.Ticks
+	// RawBlock is blocked ticks across ALL threads per monitor (the
+	// contention-histogram view). A monitor can dominate RawBlock while
+	// never appearing in CritBlock.
+	RawBlock map[string]simtime.Ticks
+
+	// Sites is per-(method,pc) work+waste ticks on the critical path,
+	// populated when a SiteRecorder was attached to the baseline run.
+	Sites map[SiteKey]simtime.Ticks
+}
+
+// CriticalPath extracts the critical path by walking backward from the
+// point that determines the final clock. Inside a thread the predecessor
+// is always the in-thread chain (its edge weight is the full elapsed
+// time, so no zero-weight cross edge can beat it); the walk only leaves a
+// thread at its start point, following the spawn edge into the parent.
+// The resulting pieces therefore tile [0, FinalClock] exactly — which
+// CheckInvariant has already certified via dist==at for every point.
+func (g *Graph) CriticalPath() (*Attribution, error) {
+	if len(g.Threads) == 0 {
+		return nil, fmt.Errorf("causal: empty graph")
+	}
+	// The program ends at the last thread-end; ties broken by stream
+	// order (the later event is the one that ended the run).
+	var endP *point
+	for _, th := range g.Threads {
+		p := th.last()
+		if endP == nil || p.at > endP.at || (p.at == endP.at && p.seq > endP.seq) {
+			endP = p
+		}
+	}
+
+	var pieces []PathPiece
+	cur := endP
+	entry := endP.at
+	for {
+		start := cur.th.points[0]
+		pieces = append(pieces, PathPiece{Thread: cur.th.Name, From: start.at, To: entry})
+		for p := cur; p != nil; p = p.prev {
+			p.onPath = true
+		}
+		var spawn *point
+		for _, c := range start.cross {
+			if c.label == "spawn" {
+				spawn = c.from
+				break
+			}
+		}
+		if spawn == nil {
+			if start.at != 0 && !g.Truncated {
+				return nil, fmt.Errorf("causal: critical path walk stranded at thread %s start (t=%d) with no spawn edge", cur.th.Name, start.at)
+			}
+			break
+		}
+		spawn.onPath = true
+		cur, entry = spawn, spawn.at
+	}
+	// Walked newest→oldest; flip to chronological order.
+	for i, j := 0, len(pieces)-1; i < j; i, j = i+1, j-1 {
+		pieces[i], pieces[j] = pieces[j], pieces[i]
+	}
+
+	a := &Attribution{
+		Clock:     g.FinalClock,
+		Pieces:    pieces,
+		CritBlock: make(map[string]simtime.Ticks),
+		CritWaste: make(map[string]simtime.Ticks),
+		RawBlock:  g.RawContention(),
+	}
+	for _, pc := range pieces {
+		th := g.byName[pc.Thread]
+		for _, s := range th.Segments {
+			lo, hi := maxT(s.Start, pc.From), minT(s.End, pc.To)
+			if hi <= lo {
+				continue
+			}
+			seg := s
+			seg.Start, seg.End = lo, hi
+			a.Segments = append(a.Segments, seg)
+			a.ClassTotals[seg.Class] += seg.Dur()
+			switch seg.Class {
+			case Block:
+				a.CritBlock[seg.Monitor] += seg.Dur()
+			case Waste:
+				a.CritWaste[seg.Monitor] += seg.Dur()
+			}
+		}
+	}
+
+	// The classified segments must re-tile the whole makespan: the same
+	// exactness the DAG invariant certifies, carried through the sweep.
+	var covered simtime.Ticks
+	for _, s := range a.Segments {
+		covered += s.Dur()
+	}
+	if !g.Truncated && covered != g.FinalClock {
+		return nil, fmt.Errorf("causal: critical segments cover %d ticks, want the full makespan %d", covered, g.FinalClock)
+	}
+	return a, nil
+}
+
+// TopCritical returns up to k (monitor, critical blocked ticks) pairs in
+// descending order, ties broken by name for determinism.
+func (a *Attribution) TopCritical(k int) []MonitorTicks { return topTicks(a.CritBlock, k) }
+
+// TopRaw returns up to k (monitor, raw blocked ticks) pairs.
+func (a *Attribution) TopRaw(k int) []MonitorTicks { return topTicks(a.RawBlock, k) }
+
+// MonitorTicks pairs a monitor with an attributed tick count.
+type MonitorTicks struct {
+	Monitor string
+	Ticks   simtime.Ticks
+}
+
+func topTicks(m map[string]simtime.Ticks, k int) []MonitorTicks {
+	out := make([]MonitorTicks, 0, len(m))
+	for mon, t := range m {
+		out = append(out, MonitorTicks{mon, t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ticks != out[j].Ticks {
+			return out[i].Ticks > out[j].Ticks
+		}
+		return out[i].Monitor < out[j].Monitor
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SiteRecorder accumulates the profiler's per-tick charge stream
+// (prof.Profiler.SetSampler) so critical work can be attributed to
+// bytecode sites after the fact. Charges are coalesced per thread when
+// contiguous at the same site, keeping memory proportional to the number
+// of site transitions rather than the number of Work calls.
+type SiteRecorder struct {
+	charges map[string][]siteCharge // per thread, in time order
+}
+
+type siteCharge struct {
+	start, end simtime.Ticks // the charged interval [start, end)
+	site       SiteKey
+}
+
+// NewSiteRecorder returns an empty recorder; pass its Add to
+// prof.Profiler.SetSampler.
+func NewSiteRecorder() *SiteRecorder {
+	return &SiteRecorder{charges: make(map[string][]siteCharge)}
+}
+
+// Add records one charge: d ticks ending at end, attributed to (fn, pc)
+// on thread. Matches the prof sampler callback signature.
+func (r *SiteRecorder) Add(thread string, end, d simtime.Ticks, fn string, pc int) {
+	if d <= 0 {
+		return
+	}
+	key := SiteKey{Method: fn, PC: pc}
+	cs := r.charges[thread]
+	if n := len(cs); n > 0 && cs[n-1].site == key && cs[n-1].end == end-d {
+		cs[n-1].end = end
+		r.charges[thread] = cs
+		return
+	}
+	r.charges[thread] = append(cs, siteCharge{start: end - d, end: end, site: key})
+}
+
+// AttachSites intersects the recorded charges with the attribution's
+// critical work and waste segments, filling a.Sites with on-path ticks
+// per bytecode site.
+func (r *SiteRecorder) AttachSites(a *Attribution) {
+	a.Sites = make(map[SiteKey]simtime.Ticks)
+	// Index critical work/waste segments per thread, already in time
+	// order from the path walk.
+	perThread := make(map[string][]Segment)
+	for _, s := range a.Segments {
+		if s.Class == Work || s.Class == Waste {
+			perThread[s.Thread] = append(perThread[s.Thread], s)
+		}
+	}
+	for th, segs := range perThread {
+		cs := r.charges[th]
+		ci := 0
+		for _, s := range segs {
+			for ci < len(cs) && cs[ci].end <= s.Start {
+				ci++
+			}
+			for j := ci; j < len(cs) && cs[j].start < s.End; j++ {
+				lo, hi := maxT(cs[j].start, s.Start), minT(cs[j].end, s.End)
+				if hi > lo {
+					a.Sites[cs[j].site] += hi - lo
+				}
+			}
+		}
+	}
+}
+
+// TopSites returns up to k (site, ticks) pairs in descending order.
+func (a *Attribution) TopSites(k int) []SiteTicks {
+	out := make([]SiteTicks, 0, len(a.Sites))
+	for s, t := range a.Sites {
+		out = append(out, SiteTicks{s, t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ticks != out[j].Ticks {
+			return out[i].Ticks > out[j].Ticks
+		}
+		if out[i].Site.Method != out[j].Site.Method {
+			return out[i].Site.Method < out[j].Site.Method
+		}
+		return out[i].Site.PC < out[j].Site.PC
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SiteTicks pairs a bytecode site with attributed critical ticks.
+type SiteTicks struct {
+	Site  SiteKey
+	Ticks simtime.Ticks
+}

@@ -1,0 +1,604 @@
+// Package causal builds an exact happens-before DAG over the virtual-time
+// trace stream and extracts the critical path — the analysis layer that
+// turns the obs/prof/fr recording stack into optimization decisions.
+//
+// Nodes are per-thread timeline points anchored at trace events; edges are
+// in-thread program order (weighted by elapsed virtual time) and
+// zero-weight cross-thread dependencies: spawn (ThreadStart.Other),
+// monitor release→acquire handoff (MonitorExit/Rollback → MonitorAcquired),
+// notify→wait-end, and revocation request chains. Because the VM is a
+// deterministic uniprocessor, every edge runs forward in virtual time and
+// each thread's in-thread chain is gapless, which yields the package's
+// grand invariant (the DAG analogue of the profiler's partition
+// invariant): the longest virtual-time path from program start equals the
+// final clock EXACTLY — every timeline point's longest-path distance is
+// its own timestamp. A missing edge (an unenriched spawner, a dropped
+// event) breaks reachability and fails the invariant loudly instead of
+// skewing the attribution silently.
+//
+// On top of the DAG the package classifies every interval of every thread
+// by the profiler's dimensions — work, waste (rolled-back work), block
+// (monitor contention and waits), sleep, sched (queueing, switch cost,
+// idle) — extracts the deterministic critical path, and attributes its
+// blocked ticks per monitor: *critical contention*, which is distinct from
+// raw contention (a monitor can be the most contended in the program while
+// never once blocking the chain of segments that bounds the makespan).
+// The what-if engine (whatif.go) then turns candidate optimizations into
+// core.Perturb re-executions whose clock deltas are exact virtual
+// speedups.
+package causal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Class classifies a timeline segment by the profiler's dimensions, with
+// sleep split out (a sleeping thread holds no CPU but its elapsed time is
+// real makespan when it sits on the critical path).
+type Class int
+
+// Segment classes.
+const (
+	Work  Class = iota // dispatched and executing surviving computation
+	Waste              // dispatched, but the ticks were rolled back later
+	Block              // blocked on a monitor or in Object.wait
+	Sleep              // parked on the virtual-time timer queue
+	Sched              // runnable-but-not-running, switch cost, idle jumps
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"work", "waste", "block", "sleep", "sched"}
+
+func (c Class) String() string {
+	if c >= 0 && c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Segment is one classified interval of one thread's timeline. Segments
+// tile [Start(thread), End(thread)] gaplessly.
+type Segment struct {
+	Thread  string
+	Start   simtime.Ticks
+	End     simtime.Ticks
+	Class   Class
+	Monitor string // Block: the contended monitor; Waste: the revoked one
+	Holder  string // Block: the owner observed at block time, if any
+	Wait    bool   // Block: an Object.wait span rather than contention
+}
+
+// Dur returns the segment's length in ticks.
+func (s Segment) Dur() simtime.Ticks { return s.End - s.Start }
+
+// point is a DAG node: one thread-timeline instant anchored at a trace
+// event. seq is the event's stream position — a topological order, since
+// every dependency is emitted before the event it enables.
+type point struct {
+	seq     int
+	at      simtime.Ticks
+	th      *Thread
+	prev    *point // in-thread predecessor (nil at thread start)
+	cross   []crossEdge
+	dist    simtime.Ticks
+	reached bool
+	// onPath marks the point as part of the extracted critical path.
+	onPath bool
+}
+
+type crossEdge struct {
+	from  *point
+	label string // "spawn", "handoff", "notify", "revoke"
+}
+
+// interval is a raw pre-classification span of one thread.
+type interval struct {
+	start, end simtime.Ticks
+	monitor    string
+	holder     string
+	wait       bool
+	open       bool
+}
+
+// Thread is one thread's reconstructed timeline.
+type Thread struct {
+	Name     string
+	Spawner  string // empty for pre-Run root threads
+	Prio     int64
+	Start    simtime.Ticks
+	End      simtime.Ticks
+	Segments []Segment
+
+	points    []*point
+	blocks    []interval // monitor contention + wait spans
+	sleeps    []interval
+	runs      []interval
+	wastes    []interval // rolled-back section windows
+	dispatch  []simtime.Ticks
+	sections  []openSection // currently open monitor sections (waste windows)
+	closed    bool
+	synthetic bool // reconstructed from a truncated stream
+}
+
+type openSection struct {
+	monitor string
+	at      simtime.Ticks
+}
+
+func (t *Thread) last() *point { return t.points[len(t.points)-1] }
+
+// Options configures Build.
+type Options struct {
+	// AllowTruncated accepts streams missing their prefix (a wrapped
+	// flight-recorder ring): threads appearing without a ThreadStart get
+	// synthetic starts and the grand invariant is not claimable — the
+	// graph is best-effort and Graph.Truncated is set.
+	AllowTruncated bool
+}
+
+// Graph is the happens-before DAG plus the per-thread classified
+// timelines derived from one event stream.
+type Graph struct {
+	FinalClock simtime.Ticks
+	Threads    []*Thread
+	Truncated  bool // built under AllowTruncated with missing context
+
+	byName map[string]*Thread
+	points []*point // all points in seq (topological) order
+	// rawBlock accumulates blocked ticks per monitor across every thread —
+	// raw contention, the histogram view critical contention is compared
+	// against.
+	rawBlock map[string]simtime.Ticks
+}
+
+type dispatchRec struct {
+	at   simtime.Ticks
+	th   *Thread
+	cost simtime.Ticks
+}
+
+type idleRec struct {
+	at simtime.Ticks // post-jump time; the idle interval is [at-n, at)
+	n  simtime.Ticks
+}
+
+// Build constructs the DAG from an event stream in emission order. The
+// stream must be complete (every thread's ThreadStart present) unless
+// opts.AllowTruncated is set.
+func Build(events []trace.Event, opts Options) (*Graph, error) {
+	g := &Graph{
+		byName:   make(map[string]*Thread),
+		rawBlock: make(map[string]simtime.Ticks),
+	}
+	releases := make(map[string]*point) // last release point per monitor
+	notifies := make(map[string]*point) // last notify point per monitor
+	var dispatches []dispatchRec
+	var idles []idleRec
+
+	tlFor := func(name string, e trace.Event) (*Thread, error) {
+		if th, ok := g.byName[name]; ok {
+			return th, nil
+		}
+		if !opts.AllowTruncated {
+			return nil, fmt.Errorf("causal: event %v for thread %q before its thread-start — stream truncated? (use AllowTruncated for flight-recorder rings)", e.Kind, name)
+		}
+		g.Truncated = true
+		th := &Thread{Name: name, Start: e.At, synthetic: true}
+		p := &point{seq: -1, at: e.At, th: th}
+		th.points = []*point{p}
+		g.points = append(g.points, p)
+		g.byName[name] = th
+		g.Threads = append(g.Threads, th)
+		return th, nil
+	}
+
+	addPoint := func(th *Thread, seq int, e trace.Event) (*point, error) {
+		prev := th.last()
+		if e.At < prev.at {
+			return nil, fmt.Errorf("causal: thread %s time regression: %v at %d after point at %d", th.Name, e.Kind, e.At, prev.at)
+		}
+		p := &point{seq: seq, at: e.At, th: th, prev: prev}
+		th.points = append(th.points, p)
+		g.points = append(g.points, p)
+		return p, nil
+	}
+
+	for i, e := range events {
+		switch e.Kind {
+		case trace.SchedIdle:
+			idles = append(idles, idleRec{at: e.At, n: simtime.Ticks(e.N)})
+			continue
+		case trace.ThreadStart:
+			if _, dup := g.byName[e.Thread]; dup {
+				return nil, fmt.Errorf("causal: duplicate thread-start for %q", e.Thread)
+			}
+			th := &Thread{Name: e.Thread, Spawner: e.Other, Prio: e.N, Start: e.At}
+			start := &point{seq: i, at: e.At, th: th}
+			if e.Other != "" {
+				parent, ok := g.byName[e.Other]
+				if !ok {
+					if !opts.AllowTruncated {
+						return nil, fmt.Errorf("causal: thread %q spawned by unknown thread %q", e.Thread, e.Other)
+					}
+					g.Truncated = true
+				} else {
+					// Split the parent's timeline at the spawn instant so
+					// the spawn edge leaves a segment boundary; this is
+					// what makes the child's chain tile back to time 0.
+					sp, err := addPoint(parent, i, e)
+					if err != nil {
+						return nil, err
+					}
+					start.cross = append(start.cross, crossEdge{from: sp, label: "spawn"})
+				}
+			}
+			th.points = []*point{start}
+			g.points = append(g.points, start)
+			g.byName[e.Thread] = th
+			g.Threads = append(g.Threads, th)
+			continue
+		}
+		if e.Thread == "" {
+			continue
+		}
+		th, err := tlFor(e.Thread, e)
+		if err != nil {
+			return nil, err
+		}
+		p, err := addPoint(th, i, e)
+		if err != nil {
+			return nil, err
+		}
+
+		switch e.Kind {
+		case trace.ThreadEnd:
+			th.closed = true
+			th.End = e.At
+
+		case trace.ContextSwitch:
+			th.dispatch = append(th.dispatch, e.At)
+			dispatches = append(dispatches, dispatchRec{at: e.At, th: th, cost: simtime.Ticks(e.N)})
+
+		case trace.MonitorBlocked:
+			// A re-block (revoked pending grant, wait interrupt) before any
+			// acquire extends the same contention episode: close the open
+			// span here and open a fresh one back to back.
+			closeOpenBlock(th, e.At)
+			th.blocks = append(th.blocks, interval{start: e.At, monitor: e.Object, holder: e.Other, open: true})
+
+		case trace.MonitorAcquired:
+			closeOpenBlock(th, e.At)
+			if rel, ok := releases[e.Object]; ok {
+				p.cross = append(p.cross, crossEdge{from: rel, label: "handoff"})
+			}
+			th.sections = append(th.sections, openSection{monitor: e.Object, at: e.At})
+
+		case trace.MonitorExit:
+			releases[e.Object] = p
+			popSection(th, e.Object)
+
+		case trace.Rollback:
+			// The rollback releases the revoked monitor (and everything
+			// nested inside it); the N payload is the wasted CPU. The run
+			// ticks inside [section enter, rollback] reclassify as waste.
+			releases[e.Object] = p
+			if at, ok := popSectionsThrough(th, e.Object); ok {
+				th.wastes = append(th.wastes, interval{start: at, end: e.At, monitor: e.Object})
+			}
+
+		case trace.WaitStart:
+			th.blocks = append(th.blocks, interval{start: e.At, monitor: e.Object, wait: true, open: true})
+
+		case trace.WaitEnd:
+			closeOpenBlock(th, e.At)
+			if n, ok := notifies[e.Object]; ok {
+				p.cross = append(p.cross, crossEdge{from: n, label: "notify"})
+			}
+			if rel, ok := releases[e.Object]; ok {
+				p.cross = append(p.cross, crossEdge{from: rel, label: "handoff"})
+			}
+
+		case trace.Notify:
+			notifies[e.Object] = p
+
+		case trace.Sleep:
+			th.sleeps = append(th.sleeps, interval{start: e.At, end: e.At + simtime.Ticks(e.N), open: true})
+
+		case trace.RevokeRequested:
+			// The event is attributed to the victim but caused by the
+			// requester, running at this very instant: a cross edge makes
+			// the revocation chain explicit in the DAG.
+			if req, ok := g.byName[e.Other]; ok && req != th {
+				p.cross = append(p.cross, crossEdge{from: req.last(), label: "revoke"})
+			}
+		}
+	}
+
+	if err := g.finalize(dispatches, idles, opts); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// closeOpenBlock closes the thread's trailing open contention/wait span.
+func closeOpenBlock(th *Thread, at simtime.Ticks) {
+	if n := len(th.blocks); n > 0 && th.blocks[n-1].open {
+		th.blocks[n-1].end = at
+		th.blocks[n-1].open = false
+	}
+}
+
+// popSection pops the innermost open section of the monitor (a normal
+// commit is LIFO; the defensive scan keeps a mispaired stream from
+// corrupting later windows).
+func popSection(th *Thread, mon string) {
+	for i := len(th.sections) - 1; i >= 0; i-- {
+		if th.sections[i].monitor == mon {
+			th.sections = append(th.sections[:i], th.sections[i+1:]...)
+			return
+		}
+	}
+}
+
+// popSectionsThrough pops everything down to and including the OUTERMOST
+// open section of the monitor — a rollback revokes the first acquisition
+// and every frame nested inside it — returning its enter time.
+func popSectionsThrough(th *Thread, mon string) (simtime.Ticks, bool) {
+	for i, s := range th.sections {
+		if s.monitor == mon {
+			th.sections = th.sections[:i]
+			return s.at, true
+		}
+	}
+	return 0, false
+}
+
+// finalize resolves run windows and sleep ends, tiles every thread's
+// timeline into classified segments, and runs the longest-path DP.
+func (g *Graph) finalize(dispatches []dispatchRec, idles []idleRec, opts Options) error {
+	for _, th := range g.Threads {
+		if !th.closed {
+			if !opts.AllowTruncated {
+				return fmt.Errorf("causal: thread %q has no thread-end — stream truncated?", th.Name)
+			}
+			g.Truncated = true
+			th.End = th.last().at
+		}
+		if th.End > g.FinalClock {
+			g.FinalClock = th.End
+		}
+	}
+
+	// Run windows: on a uniprocessor the thread dispatched at cs[k] runs
+	// until its yield moment, recoverable exactly as the next dispatch
+	// time minus that dispatch's switch cost minus any idle jumps between
+	// (both carried on the stream since PR 10).
+	idleBetween := func(lo, hi simtime.Ticks) simtime.Ticks {
+		var sum simtime.Ticks
+		for _, id := range idles {
+			if id.at > lo && id.at <= hi {
+				sum += id.n
+			}
+		}
+		return sum
+	}
+	for k, d := range dispatches {
+		var yield simtime.Ticks
+		if k+1 < len(dispatches) {
+			next := dispatches[k+1]
+			yield = next.at - next.cost - idleBetween(d.at, next.at)
+		} else {
+			yield = d.th.End
+		}
+		if yield < d.at {
+			yield = d.at
+		}
+		if yield > d.th.End {
+			yield = d.th.End
+		}
+		d.th.runs = append(d.th.runs, interval{start: d.at, end: yield})
+	}
+
+	for _, th := range g.Threads {
+		th.resolveSleeps()
+		th.tile()
+		for _, s := range th.Segments {
+			if s.Class == Block {
+				g.rawBlock[s.Monitor] += s.Dur()
+			}
+		}
+	}
+
+	// Longest-path DP in stream order (a topological order: every
+	// dependency is emitted before the event it enables).
+	for _, p := range g.points {
+		if p.prev == nil && len(p.cross) == 0 {
+			// A source: only the program start (virtual time zero) is a
+			// legitimate one on a complete stream.
+			p.reached = p.at == 0 || p.th.synthetic
+			p.dist = p.at
+			continue
+		}
+		best := simtime.Ticks(-1)
+		ok := false
+		if p.prev != nil && p.prev.reached {
+			if d := p.prev.dist + (p.at - p.prev.at); d > best {
+				best, ok = d, true
+			}
+		}
+		for _, c := range p.cross {
+			if c.from.reached && c.from.dist > best {
+				best, ok = c.from.dist, true
+			}
+		}
+		p.reached = ok
+		if ok {
+			p.dist = best
+		}
+	}
+	return nil
+}
+
+// resolveSleeps closes each sleep span at its timer deadline or at the
+// thread's next dispatch, whichever comes first (deadlock resolution can
+// wake a sleeping victim early).
+func (th *Thread) resolveSleeps() {
+	for i := range th.sleeps {
+		s := &th.sleeps[i]
+		for _, d := range th.dispatch {
+			if d > s.start && d < s.end {
+				s.end = d
+				break
+			}
+		}
+		if s.end > th.End {
+			s.end = th.End
+		}
+		s.open = false
+	}
+}
+
+// tile partitions [Start, End] into classified segments: block/wait and
+// sleep spans win, run windows (split into work/waste by the rollback
+// windows) fill their remainder, and whatever is left — queued runnable
+// time, switch cost, idle — is sched.
+func (th *Thread) tile() {
+	type hard struct {
+		interval
+		class Class
+	}
+	var hards []hard
+	for _, b := range th.blocks {
+		if b.open { // truncated stream: close at thread end
+			b.end, b.open = th.End, false
+		}
+		if b.end > b.start {
+			hards = append(hards, hard{b, Block})
+		}
+	}
+	for _, s := range th.sleeps {
+		if s.end > s.start {
+			hards = append(hards, hard{s, Sleep})
+		}
+	}
+	sort.Slice(hards, func(i, j int) bool { return hards[i].start < hards[j].start })
+
+	// Sweep [Start, End]; hard spans never overlap (a thread blocks,
+	// waits, or sleeps one at a time) — clip defensively anyway.
+	emit := func(seg Segment) {
+		if seg.End > seg.Start {
+			th.Segments = append(th.Segments, seg)
+		}
+	}
+	emitRun := func(from, to simtime.Ticks) {
+		// Run ticks inside a rolled-back section window are waste.
+		cur := from
+		for _, w := range th.wastes {
+			lo, hi := maxT(cur, w.start), minT(to, w.end)
+			if hi <= lo {
+				continue
+			}
+			emit(Segment{Thread: th.Name, Start: cur, End: lo, Class: Work})
+			emit(Segment{Thread: th.Name, Start: lo, End: hi, Class: Waste, Monitor: w.monitor})
+			cur = hi
+		}
+		emit(Segment{Thread: th.Name, Start: cur, End: to, Class: Work})
+	}
+	// fillOpen classifies a hard-free range using the run windows.
+	fillOpen := func(from, to simtime.Ticks) {
+		cur := from
+		for _, r := range th.runs {
+			lo, hi := maxT(cur, r.start), minT(to, r.end)
+			if hi <= lo {
+				continue
+			}
+			emit(Segment{Thread: th.Name, Start: cur, End: lo, Class: Sched})
+			emitRun(lo, hi)
+			cur = hi
+		}
+		emit(Segment{Thread: th.Name, Start: cur, End: to, Class: Sched})
+	}
+
+	cur := th.Start
+	for _, h := range hards {
+		lo, hi := maxT(cur, h.start), minT(th.End, h.end)
+		if hi <= lo {
+			continue
+		}
+		fillOpen(cur, lo)
+		emit(Segment{Thread: th.Name, Start: lo, End: hi, Class: h.class, Monitor: h.monitor, Holder: h.holder, Wait: h.wait})
+		cur = hi
+	}
+	fillOpen(cur, th.End)
+}
+
+func maxT(a, b simtime.Ticks) simtime.Ticks {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b simtime.Ticks) simtime.Ticks {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LongestPath returns the longest virtual-time path from program start:
+// the maximum longest-path distance over every thread-end point.
+func (g *Graph) LongestPath() simtime.Ticks {
+	var max simtime.Ticks
+	for _, th := range g.Threads {
+		if p := th.last(); p.reached && p.dist > max {
+			max = p.dist
+		}
+	}
+	return max
+}
+
+// CheckInvariant verifies the grand invariant on a complete stream: every
+// timeline point is reachable from program start and its longest-path
+// distance equals its timestamp exactly — hence the longest path equals
+// the final clock. Truncated graphs fail with an explicit error.
+func (g *Graph) CheckInvariant() error {
+	if g.Truncated {
+		return fmt.Errorf("causal: stream truncated — the invariant is not claimable on a partial DAG")
+	}
+	for _, p := range g.points {
+		for _, c := range p.cross {
+			if c.from.at > p.at {
+				return fmt.Errorf("causal: %s edge into thread %s runs backward in time (%d > %d)", c.label, p.th.Name, c.from.at, p.at)
+			}
+		}
+		if !p.reached {
+			return fmt.Errorf("causal: point at %d on thread %s unreachable from program start (missing spawn or handoff edge)", p.at, p.th.Name)
+		}
+		if p.dist != p.at {
+			return fmt.Errorf("causal: point at %d on thread %s has longest-path distance %d, want exactly its timestamp", p.at, p.th.Name, p.dist)
+		}
+	}
+	if lp := g.LongestPath(); lp != g.FinalClock {
+		return fmt.Errorf("causal: longest path %d != final clock %d", lp, g.FinalClock)
+	}
+	return nil
+}
+
+// RawContention returns total blocked ticks per monitor across every
+// thread — the contention-histogram view the critical attribution is
+// compared against.
+func (g *Graph) RawContention() map[string]simtime.Ticks {
+	out := make(map[string]simtime.Ticks, len(g.rawBlock))
+	for k, v := range g.rawBlock {
+		out[k] = v
+	}
+	return out
+}
+
+// Thread returns the named thread's timeline, or nil.
+func (g *Graph) Thread(name string) *Thread { return g.byName[name] }

@@ -1,0 +1,245 @@
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Export surfaces for the critical-path attribution: a human-readable
+// report (rvmrun -critpath, rvmfr critpath), folded stacks for flame
+// tooling, and a Perfetto trace with the critical path highlighted.
+
+// RenderReport writes the attribution as text: the invariant line first
+// (the number a CLI wrapper asserts against), then the per-class makespan
+// decomposition, the critical-vs-raw contention table, the path pieces,
+// and — when site attribution ran — the top critical bytecode sites.
+func RenderReport(w io.Writer, g *Graph, a *Attribution, topN int) {
+	if topN <= 0 {
+		topN = 5
+	}
+	fmt.Fprintf(w, "critical path: %d ticks == final clock %d\n", pathLen(a), a.Clock)
+	if g.Truncated {
+		fmt.Fprintf(w, "  WARNING: built from a truncated stream; attribution is best-effort\n")
+	}
+	fmt.Fprintf(w, "\nmakespan by class (critical path):\n")
+	for c := Class(0); c < NumClasses; c++ {
+		t := a.ClassTotals[c]
+		fmt.Fprintf(w, "  %-8s %10d ticks  %5.1f%%\n", c, int64(t), pct(t, a.Clock))
+	}
+
+	crit := a.TopCritical(topN)
+	raw := a.TopRaw(topN)
+	if len(crit) > 0 || len(raw) > 0 {
+		fmt.Fprintf(w, "\nmonitor contention, critical vs raw:\n")
+		fmt.Fprintf(w, "  %-20s %14s %14s\n", "monitor", "critical", "raw")
+		for _, name := range unionMonitors(crit, raw) {
+			fmt.Fprintf(w, "  %-20s %14d %14d\n", name, int64(a.CritBlock[name]), int64(a.RawBlock[name]))
+		}
+		if top := firstMonitor(crit); top != "" {
+			fmt.Fprintf(w, "  critical monitor: %s (%d ticks on path)\n", top, int64(a.CritBlock[top]))
+		}
+		if top := firstMonitor(raw); top != "" {
+			fmt.Fprintf(w, "  hottest monitor:  %s (%d ticks blocked overall)\n", top, int64(a.RawBlock[top]))
+		}
+	}
+
+	if len(a.Sites) > 0 {
+		fmt.Fprintf(w, "\ntop critical sites (work+waste on path):\n")
+		for _, st := range a.TopSites(topN) {
+			fmt.Fprintf(w, "  %-28s %10d ticks\n", st.Site, int64(st.Ticks))
+		}
+	}
+
+	fmt.Fprintf(w, "\npath pieces (%d):\n", len(a.Pieces))
+	for _, p := range a.Pieces {
+		fmt.Fprintf(w, "  [%8d, %8d] %s\n", int64(p.From), int64(p.To), p.Thread)
+	}
+}
+
+// RenderWhatIf writes an experiment batch as text: the determinism
+// control verdict first, then one line per experiment with its exact
+// virtual speedup.
+func RenderWhatIf(w io.Writer, wi *WhatIf) {
+	fmt.Fprintf(w, "baseline clock: %d ticks\n", int64(wi.Baseline.Clock))
+	if !wi.ControlOK {
+		fmt.Fprintf(w, "CONTROL FAILED: zero-perturbation replay diverged (clock %d vs %d) — refusing to report speedups\n",
+			int64(wi.Control.Clock), int64(wi.Baseline.Clock))
+		return
+	}
+	fmt.Fprintf(w, "control: zero-perturbation replay tick-identical (clock %d, fingerprint match)\n", int64(wi.Control.Clock))
+	fmt.Fprintf(w, "\nexact what-if speedups:\n")
+	for _, r := range wi.Results {
+		if r.Err != "" {
+			fmt.Fprintf(w, "  %-28s %s\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s clock %8d  speedup %+d ticks (%.1f%%)\n",
+			r.Name, int64(r.Outcome.Clock), r.SpeedupTicks,
+			100*float64(r.SpeedupTicks)/float64(wi.Baseline.Clock))
+	}
+}
+
+// WriteFolded emits the critical path as folded stacks (thread;class[;
+// detail] count), one frame chain per critical segment, suitable for
+// flamegraph tooling. Segments of the same folded key merge.
+func WriteFolded(w io.Writer, a *Attribution) error {
+	agg := make(map[string]simtime.Ticks)
+	for _, s := range a.Segments {
+		key := s.Thread + ";" + s.Class.String()
+		switch s.Class {
+		case Block:
+			if s.Wait {
+				key = s.Thread + ";block;wait " + s.Monitor
+			} else {
+				key = s.Thread + ";block;" + s.Monitor
+			}
+		case Waste:
+			key = s.Thread + ";waste;" + s.Monitor
+		}
+		agg[key] += s.Dur()
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, int64(agg[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePerfetto serializes every thread's classified timeline as a
+// Perfetto trace (the same legacy Chrome JSON array format as the obs
+// exporter): one track per thread, a complete slice per segment, the
+// critical path's segments flagged (cat "critical", crit arg) and chained
+// with flow arrows wherever the path hops threads, so the makespan chain
+// reads as one connected ribbon in the UI.
+func WritePerfetto(w io.Writer, g *Graph, a *Attribution) error {
+	var events []map[string]any
+	add := func(e map[string]any) { events = append(events, e) }
+
+	add(map[string]any{
+		"ph": "M", "pid": perfettoPid, "name": "process_name",
+		"args": map[string]any{"name": "rvm critical path"},
+	})
+	tids := make(map[string]int, len(g.Threads))
+	for i, th := range g.Threads {
+		tids[th.Name] = i + 1
+		add(map[string]any{
+			"ph": "M", "pid": perfettoPid, "tid": i + 1, "name": "thread_name",
+			"args": map[string]any{"name": th.Name},
+		})
+	}
+
+	// Critical coverage per thread, for flagging segments on the path.
+	critical := make(map[string][]PathPiece)
+	for _, p := range a.Pieces {
+		critical[p.Thread] = append(critical[p.Thread], p)
+	}
+	onPath := func(s Segment) bool {
+		for _, p := range critical[s.Thread] {
+			if s.Start < p.To && s.End > p.From {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, th := range g.Threads {
+		for _, s := range th.Segments {
+			name := s.Class.String()
+			if s.Monitor != "" {
+				name += " " + s.Monitor
+			}
+			cat := "segment"
+			args := map[string]any{"class": s.Class.String()}
+			if s.Monitor != "" {
+				args["monitor"] = s.Monitor
+			}
+			if s.Holder != "" {
+				args["holder"] = s.Holder
+			}
+			if s.Wait {
+				args["wait"] = true
+			}
+			if onPath(s) {
+				cat = "critical"
+				args["crit"] = true
+			}
+			add(map[string]any{
+				"ph": "X", "pid": perfettoPid, "tid": tids[s.Thread], "name": name,
+				"cat": cat, "ts": int64(s.Start), "dur": int64(s.Dur()), "args": args,
+			})
+		}
+	}
+
+	// Flow arrows along the critical path: one arrow per thread hop, from
+	// the spawn instant on the parent to the child's start.
+	for i := 1; i < len(a.Pieces); i++ {
+		prev, next := a.Pieces[i-1], a.Pieces[i]
+		add(map[string]any{
+			"ph": "s", "pid": perfettoPid, "tid": tids[prev.Thread], "id": i,
+			"name": "critical-path", "cat": "crit-flow", "ts": int64(prev.To),
+		})
+		add(map[string]any{
+			"ph": "f", "bp": "e", "pid": perfettoPid, "tid": tids[next.Thread], "id": i,
+			"name": "critical-path", "cat": "crit-flow", "ts": int64(next.From),
+		})
+	}
+
+	return json.NewEncoder(w).Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+const perfettoPid = 1
+
+func pathLen(a *Attribution) simtime.Ticks {
+	var sum simtime.Ticks
+	for _, p := range a.Pieces {
+		sum += p.To - p.From
+	}
+	return sum
+}
+
+func pct(part, whole simtime.Ticks) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+func firstMonitor(mts []MonitorTicks) string {
+	if len(mts) == 0 {
+		return ""
+	}
+	return mts[0].Monitor
+}
+
+// unionMonitors merges the two top-k lists preserving critical-first
+// order, then raw-only entries.
+func unionMonitors(crit, raw []MonitorTicks) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, m := range crit {
+		if !seen[m.Monitor] {
+			seen[m.Monitor] = true
+			out = append(out, m.Monitor)
+		}
+	}
+	for _, m := range raw {
+		if !seen[m.Monitor] {
+			seen[m.Monitor] = true
+			out = append(out, m.Monitor)
+		}
+	}
+	return out
+}

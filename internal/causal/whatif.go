@@ -1,0 +1,153 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/simtime"
+)
+
+// The what-if engine. Where Coz-style causal profilers *sample* virtual
+// speedups by inserting delays into a nondeterministic execution, this VM
+// is deterministic in virtual time, so a what-if experiment is a full
+// re-execution under a core.Perturb cost model and the measured speedup
+// is exact — the same program, the same schedule decisions wherever costs
+// are untouched, and a clock delta that IS the answer, not an estimate.
+//
+// Every batch runs a zero-perturbation control first and demands it be
+// tick-identical (clock and fingerprint) to the baseline. If the control
+// drifts, the harness is nondeterministic and every speedup number is
+// garbage; the engine refuses to report rather than report noise.
+
+// Outcome is the observable result of one (re-)execution: the final
+// virtual clock plus a determinism fingerprint covering whatever the
+// caller considers "the program's behavior" (stats, printed output, heap
+// digest). The zero-perturbation control must match both exactly.
+type Outcome struct {
+	Clock       simtime.Ticks
+	Fingerprint string
+}
+
+// RunFn re-executes the program under a perturbation. A nil or empty
+// Perturb must reproduce the baseline exactly. The causal package never
+// runs programs itself — the CLI supplies the closure, keeping this layer
+// free of interpreter dependencies.
+type RunFn func(p *core.Perturb) (Outcome, error)
+
+// Experiment is one candidate optimization expressed as a perturbation.
+type Experiment struct {
+	Name    string // stable identifier, e.g. "uncontended:M_crit"
+	Target  string // the monitor or site being optimized
+	Kind    string // "uncontended", "norevoke", "scale", "control"
+	Perturb *core.Perturb
+}
+
+// ExperimentResult is one experiment's exact outcome.
+type ExperimentResult struct {
+	Experiment
+	Outcome Outcome
+	Err     string
+	// SpeedupTicks = baseline clock − experiment clock: positive when the
+	// optimization shortens the program, negative when it lengthens it.
+	SpeedupTicks int64
+}
+
+// WhatIf is a completed experiment batch.
+type WhatIf struct {
+	Baseline  Outcome
+	ControlOK bool
+	Control   Outcome
+	Results   []ExperimentResult
+}
+
+// RunWhatIf executes the batch: first a zero-perturbation control checked
+// tick-identical against baseline, then each experiment. Experiments that
+// fail (e.g. eliding a monitor the program waits on) record their error
+// and the batch continues. Returns an error only when the control run
+// itself cannot execute; ControlOK=false with a nil error means the
+// harness failed the determinism check and the caller should refuse to
+// trust the numbers.
+func RunWhatIf(baseline Outcome, run RunFn, exps []Experiment) (*WhatIf, error) {
+	w := &WhatIf{Baseline: baseline}
+	control, err := run(&core.Perturb{})
+	if err != nil {
+		return nil, fmt.Errorf("causal: control re-execution failed: %w", err)
+	}
+	w.Control = control
+	w.ControlOK = control.Clock == baseline.Clock && control.Fingerprint == baseline.Fingerprint
+	if !w.ControlOK {
+		return w, nil
+	}
+	for _, e := range exps {
+		res := ExperimentResult{Experiment: e}
+		out, err := runExperiment(run, e.Perturb)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Outcome = out
+			res.SpeedupTicks = int64(baseline.Clock) - int64(out.Clock)
+		}
+		w.Results = append(w.Results, res)
+	}
+	return w, nil
+}
+
+// runExperiment isolates a single perturbed run, converting panics (the
+// documented Wait-on-elided-monitor refusal) into errors so one infeasible
+// experiment cannot take down the batch.
+func runExperiment(run RunFn, p *core.Perturb) (out Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("infeasible perturbation: %v", r)
+		}
+	}()
+	return run(p)
+}
+
+// SuggestExperiments derives the experiment set the attribution itself
+// recommends: the top-k critically contended monitors (the ones whose
+// elision should buy real ticks), the top raw-contended monitors not
+// already covered (the histogram's favorites — typically the negative
+// control showing raw contention is the wrong signal), and a
+// revocation-disable ablation for the monitor with the most critical
+// waste, when any waste is on the path.
+func SuggestExperiments(a *Attribution, k int) []Experiment {
+	if k <= 0 {
+		k = 3
+	}
+	var exps []Experiment
+	seen := make(map[string]bool)
+	add := func(kind, mon string, p *core.Perturb) {
+		name := kind + ":" + mon
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		exps = append(exps, Experiment{Name: name, Target: mon, Kind: kind, Perturb: p})
+	}
+	for _, mt := range a.TopCritical(k) {
+		if mt.Ticks > 0 {
+			add("uncontended", mt.Monitor, &core.Perturb{Uncontended: map[string]bool{mt.Monitor: true}})
+		}
+	}
+	for _, mt := range a.TopRaw(k) {
+		if mt.Ticks > 0 {
+			add("uncontended", mt.Monitor, &core.Perturb{Uncontended: map[string]bool{mt.Monitor: true}})
+		}
+	}
+	if len(a.CritWaste) > 0 {
+		mons := make([]MonitorTicks, 0, len(a.CritWaste))
+		for m, t := range a.CritWaste {
+			mons = append(mons, MonitorTicks{m, t})
+		}
+		sort.Slice(mons, func(i, j int) bool {
+			if mons[i].Ticks != mons[j].Ticks {
+				return mons[i].Ticks > mons[j].Ticks
+			}
+			return mons[i].Monitor < mons[j].Monitor
+		})
+		add("norevoke", mons[0].Monitor, &core.Perturb{NoRevoke: map[string]bool{mons[0].Monitor: true}})
+	}
+	return exps
+}

@@ -190,6 +190,15 @@ type Config struct {
 	// inflated-variant micro-benchmarks.
 	DisableThinLocks bool
 
+	// Perturb, when non-nil, applies the what-if cost perturbations of the
+	// causal profiler (internal/causal): per-site Work scaling, the
+	// zero-contention override, and per-monitor revocation disabling. The
+	// VM's determinism makes a perturbed re-execution exact, so the clock
+	// delta against the baseline is the true virtual speedup. A nil (or
+	// empty) Perturb adds no cost: all hooks sit behind nil checks, the
+	// same contract as Race, Observer and Profiler.
+	Perturb *Perturb
+
 	// Tracer receives runtime events; nil discards them.
 	Tracer trace.Sink
 }
@@ -273,6 +282,7 @@ type Runtime struct {
 
 	stats          Stats
 	lastDetectScan simtime.Ticks
+	scaleRem       map[Site]int64 // Perturb.Scale per-site remainders
 
 	// noDedup disables first-write-wins undo logging, forcing one log entry
 	// per store as in the paper's unoptimized barrier. Test-only: the
@@ -300,6 +310,7 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.Profiler != nil {
 		p := cfg.Profiler
+		p.SetClock(rt.sch.Now)
 		rt.sch.OnSwitchCost = func(d simtime.Ticks) { p.SchedTick("context-switch", d) }
 		rt.sch.OnIdle = func(d simtime.Ticks) { p.SchedTick("idle", d) }
 	}
@@ -339,6 +350,12 @@ func (rt *Runtime) NewMonitor(name string) *monitor.Monitor {
 	m.FIFOQueue = rt.cfg.FIFOMonitorQueues
 	if rt.cfg.DisableThinLocks {
 		m.DisableThin()
+	}
+	if p := rt.cfg.Perturb; p != nil && p.NoRevoke[name] {
+		// The per-monitor revocation ablation: pinned non-revocable from
+		// birth, exactly like a static pre-mark — requests are denied and
+		// its sections run without undo logging.
+		m.MarkNonRevocable("whatif: revocation disabled")
 	}
 	rt.monitors = append(rt.monitors, m)
 	return m
@@ -433,6 +450,10 @@ type frame struct {
 	reentrant bool // monitor already held when this frame was pushed
 	startCPU  simtime.Ticks
 	attempts  int
+	// elided marks a what-if frame under Perturb.Uncontended: the monitor
+	// was never actually acquired, so exit and rollback must not release
+	// it and the revocation stale-guard must not expect ownership.
+	elided bool
 }
 
 // rollbackSignal unwinds the Go stack from the yield point that delivered a
@@ -549,6 +570,18 @@ func (t *Task) Step(cost simtime.Ticks) { t.step(cost) }
 // Work charges n ticks of thread-local computation (no logging, no
 // barriers), passing yield points along the way.
 func (t *Task) Work(n simtime.Ticks) {
+	if p := t.rt.cfg.Perturb; p != nil && len(p.Scale) > 0 && t.tp != nil {
+		scaled, applied := t.rt.scaleWork(t, n)
+		if applied {
+			if scaled <= 0 {
+				// Scaled-away work still passes its yield point, so
+				// preemption and revocation delivery keep their sites.
+				t.step(0)
+				return
+			}
+			n = scaled
+		}
+	}
 	q := t.rt.sch.Quantum()
 	for n > 0 {
 		c := n
@@ -875,6 +908,10 @@ func (t *Task) runBody(body func()) (sig *rollbackSignal) {
 func (t *Task) enter(m *monitor.Monitor) {
 	rt := t.rt
 	t.YieldPoint() // method-entry yield point
+	if p := rt.cfg.Perturb; p != nil && p.Uncontended[m.Name()] {
+		t.enterElided(m)
+		return
+	}
 	for {
 		if m.TryEnter(t.th) {
 			break
@@ -987,6 +1024,47 @@ func (t *Task) enter(m *monitor.Monitor) {
 	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorAcquired, Thread: t.Name(), Object: m.Name(), N: int64(t.log.Len()), Detail: fmt.Sprintf("depth=%d", len(t.frames))})
 }
 
+// enterElided pushes a what-if frame for a monitor running under the
+// zero-contention override (Perturb.Uncontended): the section executes
+// with acquisition elided — no queueing, no blocking, no ownership, no
+// revocation on this monitor — while write barriers, undo logging and
+// every tick charge inside the section stay exactly as in the baseline.
+// The re-execution therefore answers "how many ticks does making this
+// monitor uncontended buy" and nothing else.
+func (t *Task) enterElided(m *monitor.Monitor) {
+	rt := t.rt
+	reentrant := false
+	for _, f := range t.frames {
+		if f.mon == m {
+			reentrant = true
+			break
+		}
+	}
+	if !reentrant && len(t.frames) == 0 {
+		t.spanGen++
+	}
+	t.frames = append(t.frames, frame{
+		mon:       m,
+		monGen:    m.Gen(),
+		logMark:   t.log.Mark(),
+		reentrant: reentrant,
+		startCPU:  t.th.CPU(),
+		attempts:  t.retryAttempts,
+		elided:    true,
+	})
+	t.retryAttempts = 0
+	if d := rt.cfg.Race; d != nil {
+		if !reentrant {
+			d.Acquire(t.th.ID(), m)
+		}
+		d.SectionEnter(t.th.ID())
+	}
+	if t.tp != nil {
+		t.tp.SectionEnter()
+	}
+	rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorAcquired, Thread: t.Name(), Object: m.Name(), N: int64(t.log.Len()), Detail: fmt.Sprintf("depth=%d elided", len(t.frames))})
+}
+
 // commitTop exits the top frame normally. Updates become permanent only
 // when the outermost frame commits; until then an enclosing rollback could
 // still revoke them (Figure 2's scenario, guarded by the §2.2 marking).
@@ -1004,6 +1082,22 @@ func (t *Task) commitTop(m *monitor.Monitor) {
 			t.log.Range(0, func(e undo.Entry) { rt.spec.Unregister(e.Loc(), id) })
 		}
 		t.log.Truncate(0)
+	}
+	if f.elided {
+		// A what-if frame owns nothing: no monitor to exit, no boost to
+		// drop. Everything else commits as usual.
+		if d := rt.cfg.Race; d != nil {
+			if !f.reentrant {
+				d.Release(t.th.ID(), m)
+			}
+			d.SectionCommit(t.th.ID())
+		}
+		if t.tp != nil {
+			t.tp.SectionCommit()
+		}
+		rt.tracer.Emit(trace.Event{At: rt.sch.Now(), Kind: trace.MonitorExit, Thread: t.Name(), Object: m.Name(), N: int64(t.log.Len()), Detail: "elided"})
+		t.YieldPoint()
+		return
 	}
 	fully := m.Exit(t.th)
 	if fully && (rt.cfg.PriorityCeiling || rt.cfg.PriorityInheritance) {
@@ -1125,7 +1219,7 @@ func (t *Task) deliverRevocation() {
 	// enclosing spans were marked non-revocable, so a valid request can
 	// never reach this state — guard against stale ones).
 	for i := idx; i < len(t.frames); i++ {
-		if !t.frames[i].reentrant && !t.frames[i].mon.HeldBy(t.th) {
+		if !t.frames[i].reentrant && !t.frames[i].elided && !t.frames[i].mon.HeldBy(t.th) {
 			return
 		}
 	}
@@ -1152,8 +1246,8 @@ func (t *Task) deliverRevocation() {
 	// first. Reentrant frames carry no ownership of their own.
 	for i := len(t.frames) - 1; i >= idx; i-- {
 		f := t.frames[i]
-		if f.reentrant {
-			continue
+		if f.reentrant || f.elided {
+			continue // no ownership of its own to release
 		}
 		f.mon.ForceRelease(t.th)
 		if rt.cfg.PriorityCeiling || rt.cfg.PriorityInheritance {
@@ -1192,6 +1286,9 @@ func (t *Task) deliverRevocation() {
 // the prefix); in a nested monitor all enclosing monitors become
 // non-revocable, since revoking the wait would un-deliver a notification.
 func (t *Task) Wait(m *monitor.Monitor) {
+	if p := t.rt.cfg.Perturb; p != nil && p.Uncontended[m.Name()] {
+		panic(fmt.Sprintf("core: whatif: Wait on %s, which runs under the zero-contention override — wait/notify needs real monitor ownership, so Perturb.Uncontended cannot apply to monitors used with Object.wait", m.Name()))
+	}
 	idx := t.firstFrameOf(m)
 	if idx < 0 {
 		panic(fmt.Sprintf("core: Wait on %s not owned by %s", m.Name(), t.Name()))
@@ -1262,12 +1359,18 @@ func (t *Task) Wait(m *monitor.Monitor) {
 // permits spurious wake-ups, so a rolled-back notify is indistinguishable
 // from one (§2.2).
 func (t *Task) Notify(m *monitor.Monitor) {
+	if p := t.rt.cfg.Perturb; p != nil && p.Uncontended[m.Name()] {
+		panic(fmt.Sprintf("core: whatif: Notify on %s, which runs under the zero-contention override — wait/notify needs real monitor ownership, so Perturb.Uncontended cannot apply to monitors used with Object.wait", m.Name()))
+	}
 	t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.Notify, Thread: t.Name(), Object: m.Name()})
 	m.Notify(t.th)
 }
 
 // NotifyAll wakes all waiters of m.
 func (t *Task) NotifyAll(m *monitor.Monitor) {
+	if p := t.rt.cfg.Perturb; p != nil && p.Uncontended[m.Name()] {
+		panic(fmt.Sprintf("core: whatif: NotifyAll on %s, which runs under the zero-contention override — wait/notify needs real monitor ownership, so Perturb.Uncontended cannot apply to monitors used with Object.wait", m.Name()))
+	}
 	t.rt.tracer.Emit(trace.Event{At: t.rt.sch.Now(), Kind: trace.Notify, Thread: t.Name(), Object: m.Name(), Detail: "all"})
 	m.NotifyAll(t.th)
 }

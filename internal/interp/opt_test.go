@@ -73,7 +73,13 @@ func runExampleTier(t *testing.T, src string, tier Tier) tierFinalState {
 	if err != nil {
 		t.Fatalf("%v tier: %v", tier, err)
 	}
+	return finalState(rt, env)
+}
 
+// finalState fingerprints everything externally observable at the end of
+// a run. Shared by the tier-equivalence and the zero-perturbation
+// identity properties.
+func finalState(rt *core.Runtime, env *Env) tierFinalState {
 	var b strings.Builder
 	h := rt.Heap()
 	for i := 0; i < h.NumStatics(); i++ {

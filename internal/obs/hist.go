@@ -174,6 +174,6 @@ func bucketBounds(idx int) (lo, hi int64) {
 // renderLine writes a one-line digest of the histogram.
 func renderLine(w io.Writer, label string, h *Histogram) {
 	s := h.Summary()
-	fmt.Fprintf(w, "  %-24s n=%-6d total=%-10d p50=%-8d p90=%-8d p99=%-8d max=%d\n",
-		label, s.Count, s.Sum, s.P50, s.P90, s.P99, s.Max)
+	fmt.Fprintf(w, "  %-24s n=%-6d total=%-10d p50=%-8d p90=%-8d p99=%-8d p99.9=%-8d max=%d\n",
+		label, s.Count, s.Sum, s.P50, s.P90, s.P99, s.P999, s.Max)
 }

@@ -36,6 +36,8 @@ var goldenKinds = []string{
 	"custom",
 	"static-premark",
 	"race-detected",
+	"sleep",
+	"sched-idle",
 }
 
 func TestKindNamesGolden(t *testing.T) {

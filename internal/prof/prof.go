@@ -98,6 +98,14 @@ type Profiler struct {
 	// funcTier tags functions with the execution tier that last compiled
 	// them ("threaded", "opt"), surfaced on attributed sites in Top.
 	funcTier map[int32]string
+
+	// sampler, when set, observes every Work tick charge with its leaf
+	// frame — the per-tick feed the causal profiler intersects with the
+	// critical path for exact (method, pc) attribution. clock supplies the
+	// virtual time at the charge (the end of the charged interval); it is
+	// wired by core.New. Both run on the VM goroutine.
+	sampler func(thread string, end, d simtime.Ticks, fn string, pc int)
+	clock   func() simtime.Ticks
 }
 
 // New creates an empty profiler.
@@ -200,6 +208,7 @@ type journalEntry struct {
 // profiler lock.
 type ThreadProf struct {
 	p     *Profiler
+	name  string
 	stack []int32 // interned nodes; stack[0] is the thread root
 	pc    int32   // current bytecode pc, stamped by the interpreter
 
@@ -215,7 +224,19 @@ func (p *Profiler) Thread(name string) *ThreadProf {
 	p.mu.Lock()
 	root := p.internNode(node{fn: p.internFunc(name)})
 	p.mu.Unlock()
-	return &ThreadProf{p: p, stack: []int32{root}}
+	return &ThreadProf{p: p, name: name, stack: []int32{root}}
+}
+
+// SetClock wires the virtual-time source consulted by the tick sampler;
+// core.New calls it when the profiler is attached to a runtime.
+func (p *Profiler) SetClock(now func() simtime.Ticks) { p.clock = now }
+
+// SetSampler installs the per-charge observer: fn is the leaf method name
+// ("" for thread-root charges), end the virtual time at the end of the
+// charged [end-d, end) interval. The sampler is called on the VM goroutine
+// without the profiler lock held and must not call back into the profiler.
+func (p *Profiler) SetSampler(s func(thread string, end, d simtime.Ticks, fn string, pc int)) {
+	p.sampler = s
 }
 
 func (tp *ThreadProf) top() int32 { return tp.stack[len(tp.stack)-1] }
@@ -260,15 +281,36 @@ func (tp *ThreadProf) Tick(d simtime.Ticks) {
 	}
 	key := sampleKey{node: tp.top(), pc: tp.pc}
 	p := tp.p
+	var leaf string
 	p.mu.Lock()
 	p.add(Work, key, int64(d))
 	if key.node != 0 {
-		p.funcWork[p.nodes[key.node-1].fn] += int64(d)
+		fn := p.nodes[key.node-1].fn
+		p.funcWork[fn] += int64(d)
+		if p.sampler != nil && len(tp.stack) > 1 {
+			leaf = p.funcNames[fn-1]
+		}
 	}
 	p.mu.Unlock()
+	if p.sampler != nil && p.clock != nil {
+		p.sampler(tp.name, p.clock(), d, leaf, int(tp.pc))
+	}
 	if len(tp.marks) > 0 {
 		tp.journal = append(tp.journal, journalEntry{key: key, ticks: int64(d)})
 	}
+}
+
+// Site returns the leaf frame the next tick charge would attribute to: the
+// current method name ("" at the thread root) and bytecode pc. The what-if
+// engine keys Perturb.Scale lookups by it.
+func (tp *ThreadProf) Site() (fn string, pc int) {
+	if len(tp.stack) > 1 {
+		p := tp.p
+		p.mu.Lock()
+		fn = p.funcNames[p.nodes[tp.top()-1].fn-1]
+		p.mu.Unlock()
+	}
+	return fn, int(tp.pc)
 }
 
 // BlockTick attributes d ticks parked on monitor mon to the current site.

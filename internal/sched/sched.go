@@ -332,7 +332,14 @@ func (s *Scheduler) Spawn(name string, prio Priority, body func(*Thread)) *Threa
 	s.live++
 	go t.top()
 	s.enqueue(t)
-	s.tracer.Emit(trace.Event{At: s.clock.Now(), Kind: trace.ThreadStart, Thread: name, N: int64(prio), Detail: fmt.Sprintf("prio=%d", prio)})
+	// Other names the spawning thread (empty for pre-Run root spawns): the
+	// happens-before edge the causal DAG (internal/causal) needs to anchor
+	// a dynamically spawned thread's start to its parent's timeline.
+	var spawner string
+	if s.current != nil {
+		spawner = s.current.name
+	}
+	s.tracer.Emit(trace.Event{At: s.clock.Now(), Kind: trace.ThreadStart, Thread: name, Other: spawner, N: int64(prio), Detail: fmt.Sprintf("prio=%d", prio)})
 	return t
 }
 
@@ -429,6 +436,7 @@ func (s *Scheduler) Run() error {
 			// Nobody runnable: jump to the next timer if one exists.
 			before := s.clock.Now()
 			if s.clock.AdvanceToNext() {
+				s.tracer.Emit(trace.Event{At: s.clock.Now(), Kind: trace.SchedIdle, N: int64(s.clock.Now() - before)})
 				if s.OnIdle != nil {
 					s.OnIdle(s.clock.Now() - before)
 				}
@@ -469,7 +477,10 @@ func (s *Scheduler) dispatch(t *Thread) {
 	t.sliceUsed = 0
 	t.state = StateRunning
 	s.current = t
-	s.tracer.Emit(trace.Event{At: s.clock.Now(), Kind: trace.ContextSwitch, Thread: t.name})
+	// N carries the dispatch cost just paid so stream consumers (the causal
+	// DAG) can recover the previous thread's exact yield moment without
+	// knowing the scheduler configuration.
+	s.tracer.Emit(trace.Event{At: s.clock.Now(), Kind: trace.ContextSwitch, Thread: t.name, N: int64(s.cfg.SwitchCost)})
 	t.resume <- resumeMsg{}
 	<-s.back
 	s.current = nil
@@ -598,6 +609,7 @@ func (t *Thread) Sleep(d simtime.Ticks) {
 		t.Yield()
 		return
 	}
+	t.sch.tracer.Emit(trace.Event{At: t.sch.clock.Now(), Kind: trace.Sleep, Thread: t.name, N: int64(d)})
 	t.sch.clock.ScheduleAfter(d, t)
 	t.yieldToScheduler(StateSleeping, "sleep")
 }

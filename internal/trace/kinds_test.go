@@ -32,6 +32,8 @@ var goldenKindNames = []string{
 	"custom",
 	"static-premark",
 	"race-detected",
+	"sleep",
+	"sched-idle",
 }
 
 func TestKindVocabularyGolden(t *testing.T) {

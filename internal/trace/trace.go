@@ -48,13 +48,21 @@ const (
 	// Thread is the later accessor, Other the earlier one, Object the slot,
 	// N the number of deduplicated occurrences of the same site pair.
 	RaceDetected
+	// Sleep records a thread parking on the virtual-time timer queue for N
+	// ticks. Without it, sleeps are invisible in the stream and the causal
+	// DAG (internal/causal) cannot bound the idle jumps they cause.
+	Sleep
+	// SchedIdle records the scheduler jumping the clock forward by N ticks
+	// because no thread was runnable (all sleeping on timers). Thread is
+	// empty; At is the post-jump time, so the idle interval is [At-N, At).
+	SchedIdle
 )
 
 // numKinds is the number of defined kinds. AllKinds, the name table and
 // every binary/JSONL vocabulary are sized by it; a kind added above without
 // extending kindNames leaves an empty slot that the vocabulary coverage
 // test rejects, so a new kind can never silently miss an exporter.
-const numKinds = int(RaceDetected) + 1
+const numKinds = int(SchedIdle) + 1
 
 // kindNames is THE event-kind vocabulary: the single shared table behind
 // the JSONL meta line, the flight-recorder binary codec and every String()
@@ -86,6 +94,8 @@ var kindNames = [numKinds]string{
 	Custom:            "custom",
 	StaticPreMark:     "static-premark",
 	RaceDetected:      "race-detected",
+	Sleep:             "sleep",
+	SchedIdle:         "sched-idle",
 }
 
 var kindByName = func() map[string]Kind {
@@ -169,7 +179,7 @@ func (e Event) String() string {
 
 // AllKinds returns every defined kind in declaration order. Exporters use
 // it to enumerate the stable name set; a new kind added above extends the
-// slice automatically (RaceDetected is the last defined kind).
+// slice automatically (SchedIdle is the last defined kind).
 func AllKinds() []Kind {
 	kinds := make([]Kind, 0, numKinds)
 	for k := ThreadStart; int(k) < numKinds; k++ {
